@@ -1,0 +1,39 @@
+# PrORAM reproduction -- common workflows.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-fast examples gallery audit clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-report:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-fast:
+	REPRO_FAST=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/oblivious_kv_store.py
+	$(PYTHON) examples/database_oram.py
+	$(PYTHON) examples/timing_channel_demo.py
+	$(PYTHON) examples/real_programs.py
+	$(PYTHON) examples/stash_pressure.py
+	$(PYTHON) examples/multicore_contention.py
+
+gallery:
+	$(PYTHON) examples/figure_gallery.py
+
+audit:
+	$(PYTHON) -m repro audit -w ocean_c -s dyn
+
+clean:
+	rm -rf build src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,41 @@
+"""Ablation -- the unified-ORAM PosMap block cache (PLB), section 2.3.
+
+The baseline design caches PosMap blocks on-chip so most requests need a
+single path access; without the cache every request walks the whole
+recursion (here 3 extra path accesses).  This ablation sweeps the cache
+capacity on a memory-bound workload and shows where the paper's "one order
+of magnitude more latency" would become far worse without unified caching.
+"""
+
+from benchmarks.figutils import ACCESSES, WARMUP, benchmark_trace, record_table
+from repro.analysis.experiments import experiment_config, run_schemes
+
+CACHE_SIZES = [0, 8, 128]
+
+
+def run_figure():
+    trace = benchmark_trace("mcf", accesses=ACCESSES)
+    rows = []
+    outcomes = {}
+    for entries in CACHE_SIZES:
+        config = experiment_config(posmap_cache_entries=entries)
+        res = run_schemes(trace, ["oram"], config=config, warmup_fraction=WARMUP)["oram"]
+        extra_per_request = res.posmap_accesses / max(1, res.demand_requests)
+        outcomes[entries] = (res.cycles, extra_per_request)
+        rows.append([entries, res.cycles, extra_per_request, res.posmap_cache_hit_rate])
+    return rows, outcomes
+
+
+def test_ablation_plb(benchmark):
+    rows, outcomes = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    record_table(
+        "ablation_plb",
+        "Ablation: PosMap block cache capacity (mcf, baseline ORAM)",
+        ["plb_entries", "cycles", "extra_paths_per_request", "hit_rate"],
+        rows,
+    )
+    # No cache: the full 3-level walk on every request.
+    assert outcomes[0][1] > 2.9
+    # The default cache removes most of the recursion cost.
+    assert outcomes[128][1] < 1.5
+    assert outcomes[128][0] < outcomes[0][0]

@@ -1,0 +1,71 @@
+"""Extension -- core-count scaling on one shared ORAM controller.
+
+The paper's platform shares a single memory controller among tiles
+(section 5.1, "we assume there is only one memory controller on the
+chip"), and a single ORAM access saturates it (section 2.6).  This
+benchmark measures how completion time scales with co-running cores and
+whether PrORAM's access savings survive contention.
+"""
+
+from repro.analysis.experiments import experiment_config
+from repro.sim.multicore import MultiCoreSystem
+from repro.sim.trace import Trace
+from repro.utils.rng import DeterministicRng
+
+from benchmarks.figutils import FAST, record_table
+
+REFERENCES = 8_000 if FAST else 16_000
+#: per-core private region; cores work on DISJOINT data (the contention
+#: case -- identical co-runners would share fetches through the LLC)
+REGION = 2_048
+CORE_COUNTS = [1, 2, 4]
+
+
+def hungry_trace(core: int, total_cores: int, seed: int) -> Trace:
+    rng = DeterministicRng(seed)
+    base = core * REGION
+    trace = Trace(f"hungry{core}", footprint_blocks=REGION * total_cores)
+    pointer = 0
+    for _ in range(REFERENCES):
+        if rng.random() < 0.8:
+            addr = base + pointer
+            pointer = (pointer + 1) % REGION
+        else:
+            addr = base + rng.randint(0, REGION - 1)
+        trace.append(rng.expovariate_int(120), addr)
+    return trace
+
+
+def run(scheme: str, cores: int) -> int:
+    traces = [hungry_trace(i, cores, 10 + i) for i in range(cores)]
+    system = MultiCoreSystem.build(scheme, traces, config=experiment_config())
+    results = system.run(traces)
+    system.backend.oram.check_invariants()
+    return max(r.cycles for r in results)
+
+
+def run_figure():
+    rows = []
+    outcomes = {}
+    for cores in CORE_COUNTS:
+        oram_cycles = run("oram", cores)
+        dyn_cycles = run("dyn", cores)
+        gain = oram_cycles / dyn_cycles - 1
+        outcomes[cores] = (oram_cycles, dyn_cycles, gain)
+        rows.append([cores, oram_cycles, dyn_cycles, gain])
+    return rows, outcomes
+
+
+def test_extension_multicore(benchmark):
+    rows, outcomes = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    record_table(
+        "extension_multicore",
+        "Extension: core-count scaling on one shared ORAM controller",
+        ["cores", "oram_cycles", "dyn_cycles", "dyn_gain"],
+        rows,
+    )
+    # The serialized controller makes co-runners pay: 4 cores take far
+    # longer than 1 (they share one access stream).
+    assert outcomes[4][0] > 2 * outcomes[1][0]
+    # PrORAM's gain survives (and matters) under contention.
+    assert outcomes[4][2] > 0.05

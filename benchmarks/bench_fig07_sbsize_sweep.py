@@ -1,0 +1,60 @@
+"""Figure 7 -- sweeping the (maximum) super block size (section 5.3.3).
+
+The 100%-locality synthetic is run with super block size 2, 4 and 8.  The
+paper's shape: the static scheme degrades quickly as sbsize grows (more
+blocks per fetch means more background evictions), while the dynamic scheme
+throttles merging through adaptive thresholding and stays flat/positive.
+"""
+
+from repro.analysis.experiments import experiment_config, run_schemes
+from repro.workloads.synthetic import sequential_trace
+
+from benchmarks.figutils import FAST, WARMUP, record_table
+
+# Shorter traces than the other figures: the sbsize-4/8 static runs spend
+# most of their time in background-eviction storms, and the relative
+# positions converge quickly.  The footprint is smaller so the dynamic
+# scheme's merge training completes within even the fast traces.
+ACCESSES = 25_000 if FAST else 50_000
+FOOTPRINT = 8_192
+SIZES = [2, 4, 8]
+STRICT = not FAST
+
+
+def run_figure():
+    rows = []
+    outcomes = {}
+    trace = sequential_trace(footprint_blocks=FOOTPRINT, accesses=ACCESSES)
+    for size in SIZES:
+        config = experiment_config(max_super_block_size=size)
+        res = run_schemes(
+            trace, ["oram", "stat", "dyn"], config=config, warmup_fraction=WARMUP
+        )
+        stat = res["stat"].speedup_over(res["oram"])
+        dyn = res["dyn"].speedup_over(res["oram"])
+        stat_acc = res["stat"].normalized_memory_accesses(res["oram"])
+        dyn_acc = res["dyn"].normalized_memory_accesses(res["oram"])
+        outcomes[size] = (stat, dyn)
+        rows.append([size, stat, dyn, stat_acc, dyn_acc])
+    return rows, outcomes
+
+
+def test_fig07_super_block_size(benchmark):
+    rows, outcomes = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    record_table(
+        "fig07_sbsize_sweep",
+        "Figure 7: super block size sweep (100% locality synthetic)",
+        ["sbsize", "stat", "dyn", "stat_norm_acc", "dyn_norm_acc"],
+        rows,
+    )
+    # The static scheme degrades as sbsize grows; the throttled dynamic
+    # scheme loses far less between sbsize 2 and 8.
+    assert outcomes[8][0] < outcomes[2][0]
+    stat_drop = outcomes[2][0] - outcomes[8][0]
+    dyn_drop = outcomes[2][1] - outcomes[8][1]
+    assert dyn_drop < stat_drop + 0.05
+    # The dynamic scheme never collapses below the baseline.
+    assert all(dyn > -0.05 for _, dyn in outcomes.values())
+    if STRICT:
+        # Both gain at sbsize 2 on a perfectly sequential workload.
+        assert outcomes[2][0] > 0.1 and outcomes[2][1] > 0.1

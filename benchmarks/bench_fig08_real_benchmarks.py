@@ -1,0 +1,119 @@
+"""Figure 8 -- static vs dynamic super blocks on the real benchmark suites.
+
+Regenerates all three panels: (a) fourteen Splash2 workloads, (b) ten
+SPEC06 workloads, (c) YCSB and TPCC.  For each workload the table reports
+the speedup of ``stat`` and ``dyn`` over baseline ORAM and the normalized
+memory access count (the paper's energy proxy, its red markers), plus the
+``avg`` and (for Splash2) ``mem_avg`` rows.
+
+Expected shapes (paper section 5.4):
+* dyn >= baseline everywhere (never below -3%);
+* stat loses on the low-locality workloads (volrend, radix, sjeng, astar,
+  omnet, mcf, TPCC);
+* the gains concentrate in the memory-intensive benchmarks;
+* dyn saves memory accesses (energy) on the locality-rich suites.
+"""
+
+from repro.workloads.dbms import DBMS_PROFILES
+from repro.workloads.spec06 import SPEC06_PROFILES
+from repro.workloads.splash2 import SPLASH2_PROFILES
+
+from benchmarks.figutils import FAST, record_table, run_benchmark_schemes, suite_average
+
+#: training-dependent magnitude assertions only hold at full trace length
+STRICT = not FAST
+
+SCHEMES = ["oram", "stat", "dyn"]
+#: benchmarks the paper singles out as hurt by the static scheme
+STATIC_LOSERS = {"volrend", "radix", "sjeng", "astar", "omnet", "mcf", "TPCC"}
+
+
+def run_suite(profiles):
+    rows = []
+    stats = {}
+    for profile in profiles:
+        res = run_benchmark_schemes(profile.name, SCHEMES)
+        stat = res["stat"].speedup_over(res["oram"])
+        dyn = res["dyn"].speedup_over(res["oram"])
+        if res["oram"].total_memory_accesses:
+            stat_acc = res["stat"].normalized_memory_accesses(res["oram"])
+            dyn_acc = res["dyn"].normalized_memory_accesses(res["oram"])
+        else:
+            # Fully cached in the measurement window (water_*): no memory
+            # traffic for any scheme.
+            stat_acc = dyn_acc = 1.0
+        stats[profile.name] = {
+            "stat": stat,
+            "dyn": dyn,
+            "dyn_acc": dyn_acc,
+            "mem": profile.memory_intensive,
+        }
+        rows.append([profile.name, stat, dyn, stat_acc, dyn_acc])
+    rows.append(
+        [
+            "avg",
+            suite_average(s["stat"] for s in stats.values()),
+            suite_average(s["dyn"] for s in stats.values()),
+            "",
+            suite_average(s["dyn_acc"] for s in stats.values()),
+        ]
+    )
+    mem = [s for s in stats.values() if s["mem"]]
+    if mem:
+        rows.append(
+            [
+                "mem_avg",
+                suite_average(s["stat"] for s in mem),
+                suite_average(s["dyn"] for s in mem),
+                "",
+                suite_average(s["dyn_acc"] for s in mem),
+            ]
+        )
+    return rows, stats
+
+
+def check_common_shapes(stats):
+    for name, s in stats.items():
+        # dyn never loses meaningfully (the paper's headline stability claim).
+        assert s["dyn"] > -0.04, f"dyn lost on {name}: {s['dyn']:+.3f}"
+        if STRICT and name in STATIC_LOSERS:
+            assert s["stat"] < 0.02, f"stat should lose on {name}: {s['stat']:+.3f}"
+
+
+HEADERS = ["workload", "stat", "dyn", "stat_norm_acc", "dyn_norm_acc"]
+
+
+def test_fig08a_splash2(benchmark):
+    rows, stats = benchmark.pedantic(run_suite, args=(SPLASH2_PROFILES,), rounds=1, iterations=1)
+    record_table("fig08a_splash2", "Figure 8a: Splash2, speedup over baseline ORAM", HEADERS, rows)
+    check_common_shapes(stats)
+    mem_avg = suite_average(s["dyn"] for s in stats.values() if s["mem"])
+    comp_avg = suite_average(s["dyn"] for s in stats.values() if not s["mem"])
+    if STRICT:
+        # Paper: 20.2% gain on memory-intensive Splash2.
+        assert mem_avg > 0.12
+        # Memory-intensive gains dominate the compute-intensive ones.
+        assert mem_avg > comp_avg
+
+
+def test_fig08b_spec06(benchmark):
+    rows, stats = benchmark.pedantic(run_suite, args=(SPEC06_PROFILES,), rounds=1, iterations=1)
+    record_table("fig08b_spec06", "Figure 8b: SPEC06, speedup over baseline ORAM", HEADERS, rows)
+    check_common_shapes(stats)
+    avg = suite_average(s["dyn"] for s in stats.values())
+    if STRICT:
+        # Paper: 5.5% average on SPEC06 -- modest but positive.
+        assert 0.0 < avg < 0.2
+
+
+def test_fig08c_dbms(benchmark):
+    rows, stats = benchmark.pedantic(run_suite, args=(DBMS_PROFILES,), rounds=1, iterations=1)
+    record_table("fig08c_dbms", "Figure 8c: DBMS, speedup over baseline ORAM", HEADERS, rows)
+    check_common_shapes(stats)
+    # Paper: YCSB 23.6% >> TPCC 5%.
+    assert stats["YCSB"]["dyn"] > stats["TPCC"]["dyn"]
+    if STRICT:
+        assert stats["YCSB"]["dyn"] > 0.08
+        assert stats["TPCC"]["dyn"] > 0.0
+    # Energy: dyn saves memory accesses on YCSB.
+    assert stats["YCSB"]["dyn_acc"] < 1.0

@@ -1,0 +1,69 @@
+"""Figure 10 -- sweeping the merge/break coefficients of Equation 1.
+
+``mXbY`` sets Cmerge = X, Cbreak = Y.  The paper's findings: for workloads
+with good spatial locality, smaller merge coefficients merge earlier and
+perform (mildly) better; for bad-locality workloads (volrend) the
+coefficient barely matters because merging rarely happens at all.  The
+paper settles on Cmerge = Cbreak = 1.
+"""
+
+from repro.analysis.experiments import experiment_config, run_schemes
+from repro.core.thresholds import AdaptiveThresholdPolicy
+
+from benchmarks.figutils import (
+    WARMUP,
+    benchmark_trace,
+    record_table,
+    run_benchmark_schemes,
+)
+
+#: full-length traces regardless of REPRO_FAST: coefficient effects only
+#: show once merge training has room to differ
+ACCESSES = 80_000
+
+WORKLOADS = ["fft", "ocean_c", "ocean_nc", "volrend"]
+COEFFICIENTS = [(1, 1), (2, 2), (4, 1), (4, 4), (8, 8)]
+
+
+def run_figure():
+    rows = []
+    outcomes = {}
+    for name in WORKLOADS:
+        base = run_benchmark_schemes(name, ["oram"], accesses=ACCESSES)
+        trace = benchmark_trace(name, accesses=ACCESSES)
+        row = [name]
+        for c_merge, c_break in COEFFICIENTS:
+            # The session cache keys on (workload, scheme); coefficients
+            # change the policy, so these runs go direct.
+            fresh = run_schemes(
+                trace,
+                ["dyn"],
+                config=experiment_config(),
+                warmup_fraction=WARMUP,
+                policy_factory=lambda cm=c_merge, cb=c_break: AdaptiveThresholdPolicy(
+                    c_merge=cm, c_break=cb
+                ),
+            )
+            speedup = fresh["dyn"].speedup_over(base["oram"])
+            outcomes[(name, c_merge, c_break)] = speedup
+            row.append(speedup)
+        rows.append(row)
+    return rows, outcomes
+
+
+def test_fig10_coefficients(benchmark):
+    rows, outcomes = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    headers = ["workload"] + [f"m{m}b{b}" for m, b in COEFFICIENTS]
+    record_table(
+        "fig10_coefficients",
+        "Figure 10: merge/break coefficient sweep, dyn speedup over baseline",
+        headers,
+        rows,
+    )
+    # Locality-rich workloads gain under every coefficient ...
+    for name in ("fft", "ocean_c", "ocean_nc"):
+        assert outcomes[(name, 1, 1)] > 0.1
+    # ... and volrend is insensitive: merging rarely triggers regardless.
+    volrend = [outcomes[(("volrend"), m, b)] for m, b in COEFFICIENTS]
+    assert max(volrend) - min(volrend) < 0.08
+    assert all(abs(v) < 0.08 for v in volrend)

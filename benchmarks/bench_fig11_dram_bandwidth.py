@@ -1,0 +1,61 @@
+"""Figure 11 -- sweeping the DRAM pin bandwidth (section 5.5.2).
+
+Completion time normalized to the insecure DRAM system at the same
+bandwidth.  Paper shape: on a memory-intensive, locality-rich workload
+(ocean_contiguous) the dynamic scheme's gain is consistent across
+bandwidths; on a no-locality workload (volrend) dyn tracks the baseline
+while the static scheme trails both.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.experiments import experiment_config, run_schemes
+
+from benchmarks.figutils import ACCESSES, WARMUP, benchmark_trace, record_table
+
+BANDWIDTHS = [4.0, 8.0, 16.0]
+SCHEMES = ["dram", "oram", "stat", "dyn"]
+
+
+def run_workload(name):
+    rows = []
+    outcomes = {}
+    trace = benchmark_trace(name, accesses=ACCESSES)
+    for bandwidth in BANDWIDTHS:
+        config = experiment_config()
+        config = replace(config, dram=replace(config.dram, bandwidth_gbps=bandwidth))
+        res = run_schemes(trace, SCHEMES, config=config, warmup_fraction=WARMUP)
+        dram = res["dram"]
+        normalized = {s: res[s].normalized_completion_time(dram) for s in ("oram", "stat", "dyn")}
+        outcomes[bandwidth] = normalized
+        rows.append([f"{bandwidth:.0f} GB/s", normalized["oram"], normalized["stat"], normalized["dyn"]])
+    return rows, outcomes
+
+
+def test_fig11_ocean_c(benchmark):
+    rows, outcomes = benchmark.pedantic(run_workload, args=("ocean_c",), rounds=1, iterations=1)
+    record_table(
+        "fig11a_dram_bandwidth_ocean_c",
+        "Figure 11a: DRAM bandwidth sweep, ocean_c (completion time / DRAM)",
+        ["bandwidth", "oram", "stat", "dyn"],
+        rows,
+    )
+    for bandwidth, norm in outcomes.items():
+        # dyn's gain over the baseline persists at every bandwidth.
+        assert norm["dyn"] < norm["oram"]
+    # Lower bandwidth = relatively heavier ORAM.
+    assert outcomes[4.0]["oram"] > outcomes[16.0]["oram"]
+
+
+def test_fig11_volrend(benchmark):
+    rows, outcomes = benchmark.pedantic(run_workload, args=("volrend",), rounds=1, iterations=1)
+    record_table(
+        "fig11b_dram_bandwidth_volrend",
+        "Figure 11b: DRAM bandwidth sweep, volrend (completion time / DRAM)",
+        ["bandwidth", "oram", "stat", "dyn"],
+        rows,
+    )
+    for bandwidth, norm in outcomes.items():
+        # No locality: dyn tracks the baseline; stat trails both.
+        assert abs(norm["dyn"] - norm["oram"]) / norm["oram"] < 0.05
+        assert norm["stat"] >= norm["dyn"] * 0.98

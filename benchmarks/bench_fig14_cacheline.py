@@ -1,0 +1,52 @@
+"""Figure 14 -- sweeping the cacheline (ORAM block) size (section 5.5.5).
+
+Completion time normalized to the insecure DRAM system at 64, 128 and
+256-byte lines.  Paper finding: "the behaviors of dynamic and static super
+block schemes do not change" -- the scheme ordering is stable across line
+sizes.
+"""
+
+from benchmarks.figutils import ACCESSES, WARMUP, benchmark_trace, record_table
+from repro.analysis.experiments import experiment_config, run_schemes
+
+LINE_SIZES = [64, 128, 256]
+SCHEMES = ["dram", "oram", "stat", "dyn"]
+
+
+def run_workload(name):
+    rows = []
+    outcomes = {}
+    trace = benchmark_trace(name, accesses=ACCESSES)
+    for line in LINE_SIZES:
+        config = experiment_config().with_block_bytes(line)
+        res = run_schemes(trace, SCHEMES, config=config, warmup_fraction=WARMUP)
+        dram = res["dram"]
+        normalized = {s: res[s].normalized_completion_time(dram) for s in ("oram", "stat", "dyn")}
+        outcomes[line] = normalized
+        rows.append([f"{line} B", normalized["oram"], normalized["stat"], normalized["dyn"]])
+    return rows, outcomes
+
+
+def test_fig14_ocean_c(benchmark):
+    rows, outcomes = benchmark.pedantic(run_workload, args=("ocean_c",), rounds=1, iterations=1)
+    record_table(
+        "fig14a_cacheline_ocean_c",
+        "Figure 14a: cacheline size sweep, ocean_c (completion time / DRAM)",
+        ["line", "oram", "stat", "dyn"],
+        rows,
+    )
+    # The scheme ordering is stable: dyn <= baseline at every line size.
+    for line, norm in outcomes.items():
+        assert norm["dyn"] < norm["oram"], f"dyn lost at {line}B lines"
+
+
+def test_fig14_volrend(benchmark):
+    rows, outcomes = benchmark.pedantic(run_workload, args=("volrend",), rounds=1, iterations=1)
+    record_table(
+        "fig14b_cacheline_volrend",
+        "Figure 14b: cacheline size sweep, volrend (completion time / DRAM)",
+        ["line", "oram", "stat", "dyn"],
+        rows,
+    )
+    for line, norm in outcomes.items():
+        assert abs(norm["dyn"] - norm["oram"]) / norm["oram"] < 0.06

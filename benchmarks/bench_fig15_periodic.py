@@ -1,0 +1,103 @@
+"""Figure 15 -- super blocks under periodic (timing-protected) ORAM.
+
+Speedup relative to the baseline *periodic* ORAM (Oint = 100 cycles).  The
+plain non-periodic ORAM is plotted alongside.  Paper findings: (1) the
+periodicity itself costs only a few percent at this Oint ("ORAM bandwidth
+is almost maximized"), and (2) dynamic super blocks keep their gains when
+integrated with periodic accesses.
+"""
+
+from repro.workloads.dbms import DBMS_PROFILES
+from repro.workloads.spec06 import SPEC06_PROFILES
+from repro.workloads.splash2 import SPLASH2_PROFILES
+
+from benchmarks.figutils import FAST, record_table, run_benchmark_schemes, suite_average
+
+SCHEMES = ["oram", "oram_intvl", "stat_intvl", "dyn_intvl"]
+
+
+def run_suite(profiles):
+    rows = []
+    stats = {}
+    for profile in profiles:
+        res = run_benchmark_schemes(profile.name, SCHEMES)
+        base = res["oram_intvl"]
+        oram = res["oram"].speedup_over(base)
+        stat = res["stat_intvl"].speedup_over(base)
+        dyn = res["dyn_intvl"].speedup_over(base)
+        stats[profile.name] = {
+            "oram": oram, "stat": stat, "dyn": dyn, "mem": profile.memory_intensive,
+        }
+        rows.append([profile.name, oram, stat, dyn])
+    rows.append(
+        [
+            "avg",
+            suite_average(s["oram"] for s in stats.values()),
+            suite_average(s["stat"] for s in stats.values()),
+            suite_average(s["dyn"] for s in stats.values()),
+        ]
+    )
+    mem = [s for s in stats.values() if s["mem"]]
+    if mem:
+        rows.append(
+            [
+                "mem_avg",
+                suite_average(s["oram"] for s in mem),
+                suite_average(s["stat"] for s in mem),
+                suite_average(s["dyn"] for s in mem),
+            ]
+        )
+    return rows, stats
+
+
+HEADERS = ["workload", "oram", "stat_intvl", "dyn_intvl"]
+
+
+def check_shapes(stats, min_mem_gain):
+    mem = {k: s for k, s in stats.items() if s["mem"]}
+    for name, s in mem.items():
+        # Periodicity costs little on memory-bound workloads: the plain
+        # ORAM is only slightly faster than the periodic baseline (the
+        # paper reports 3.6% average extra degradation on Splash2).
+        assert -0.02 < s["oram"] < 0.25, f"{name}: periodic overhead off ({s['oram']:+.3f})"
+    if not FAST:
+        # dyn keeps its gain (where there is locality to harvest) and
+        # never loses under periodicity.
+        assert suite_average(s["dyn"] for s in mem.values()) > min_mem_gain
+
+
+def test_fig15a_splash2_periodic(benchmark):
+    rows, stats = benchmark.pedantic(run_suite, args=(SPLASH2_PROFILES,), rounds=1, iterations=1)
+    record_table(
+        "fig15a_splash2_periodic",
+        "Figure 15a: periodic ORAM (Oint=100), speedup over periodic baseline",
+        HEADERS,
+        rows,
+    )
+    # Splash2's memory-intensive set is locality-rich: big gains persist.
+    check_shapes(stats, min_mem_gain=0.05)
+
+
+def test_fig15b_spec06_periodic(benchmark):
+    rows, stats = benchmark.pedantic(run_suite, args=(SPEC06_PROFILES,), rounds=1, iterations=1)
+    record_table(
+        "fig15b_spec06_periodic",
+        "Figure 15b: periodic ORAM (Oint=100), speedup over periodic baseline",
+        HEADERS,
+        rows,
+    )
+    # SPEC06's memory-intensive pair (omnet, mcf) has little spatial
+    # locality: "no gain" is the correct outcome there, "no loss" the bar.
+    check_shapes(stats, min_mem_gain=-0.02)
+
+
+def test_fig15c_dbms_periodic(benchmark):
+    rows, stats = benchmark.pedantic(run_suite, args=(DBMS_PROFILES,), rounds=1, iterations=1)
+    record_table(
+        "fig15c_dbms_periodic",
+        "Figure 15c: periodic ORAM (Oint=100), speedup over periodic baseline",
+        HEADERS,
+        rows,
+    )
+    if not FAST:
+        assert stats["YCSB"]["dyn"] > stats["TPCC"]["dyn"]

@@ -1,0 +1,17 @@
+"""Benchmark-suite plumbing: print every recorded figure table at the end."""
+
+from __future__ import annotations
+
+from benchmarks.figutils import FAST, RECORDED_TABLES
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not RECORDED_TABLES:
+        return
+    terminalreporter.section("PrORAM figure reproductions")
+    if FAST:
+        terminalreporter.write_line(
+            "(REPRO_FAST=1: shortened traces; see EXPERIMENTS.md for full runs)\n"
+        )
+    for name in sorted(RECORDED_TABLES):
+        terminalreporter.write_line(RECORDED_TABLES[name])

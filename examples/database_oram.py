@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""DBMS-on-ORAM: the paper's YCSB and TPC-C experiment (Figure 8c).
+
+Private databases are the paper's motivating cloud workload: an OLTP engine
+whose tables live in ORAM so the server learns nothing from the access
+pattern.  This example generates transaction-level traces for a YCSB-style
+key-value table (Zipfian rows, whole-row scans -- lots of harvestable
+locality) and a TPC-C-style order workload (small scattered rows, heavy
+writes -- hostile to blind prefetching), then compares schemes.
+
+Run:
+    python examples/database_oram.py
+"""
+
+from repro.analysis.experiments import experiment_config, run_schemes
+from repro.analysis.tables import format_table
+from repro.workloads.dbms import tpcc_trace, ycsb_trace
+
+
+def compare(title, trace):
+    print(f"\n=== {title}: {len(trace)} block references, "
+          f"{trace.footprint_blocks} blocks, {trace.write_fraction:.0%} writes ===")
+    results = run_schemes(
+        trace, ["oram", "stat", "dyn"], config=experiment_config(), warmup_fraction=0.5
+    )
+    oram = results["oram"]
+    rows = []
+    for scheme in ("oram", "stat", "dyn"):
+        r = results[scheme]
+        rows.append(
+            [
+                scheme,
+                r.cycles,
+                r.speedup_over(oram),
+                r.normalized_memory_accesses(oram),
+                r.prefetch_miss_rate,
+            ]
+        )
+    print(format_table(["scheme", "cycles", "speedup", "norm_energy", "pf_miss_rate"], rows))
+    return results
+
+
+def main() -> None:
+    ycsb = compare("YCSB (read-mostly key-value, 1 KB rows)", ycsb_trace(operations=8_000))
+    tpcc = compare("TPC-C (OLTP transactions, scattered small rows)", tpcc_trace(transactions=2_500))
+
+    ygain = ycsb["dyn"].speedup_over(ycsb["oram"])
+    tgain = tpcc["dyn"].speedup_over(tpcc["oram"])
+    print(
+        f"\nPrORAM gains: YCSB {ygain:+.1%} vs TPCC {tgain:+.1%} "
+        "(the paper reports 23.6% vs 5%: row scans are harvestable locality, "
+        "scattered OLTP rows are not)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Render the recorded figure tables as terminal bar charts.
+
+After a benchmark run (``pytest benchmarks/ --benchmark-only``) every
+figure's series is written to ``benchmarks/results/*.txt``.  This example
+re-renders the key ones as bar charts so the paper's shapes are visible at
+a glance — who wins, where the crossovers fall.
+
+Run:
+    python examples/figure_gallery.py [results_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis.charts import grouped_bar_chart
+
+
+def parse_table(path: Path):
+    """Parse a recorded table into (title, headers, rows-of-strings)."""
+    lines = [line.rstrip("\n") for line in path.read_text().splitlines() if line.strip()]
+    title = lines[0]
+    headers = lines[1].split()
+    rows = [line.split() for line in lines[3:]]
+    return title, headers, rows
+
+
+def numeric(cell: str):
+    try:
+        return float(cell.replace("+", ""))
+    except ValueError:
+        return None
+
+
+def chart_from_table(path: Path, series_columns):
+    title, headers, rows = parse_table(path)
+    labels = []
+    series = {name: [] for name in series_columns}
+    for row in rows:
+        values = dict(zip(headers, row))
+        picked = {name: numeric(values.get(name, "")) for name in series_columns}
+        if any(v is None for v in picked.values()):
+            continue
+        labels.append(row[0])
+        for name, value in picked.items():
+            series[name].append(value)
+    if not labels:
+        return f"{title}\n  (no numeric rows)"
+    return grouped_bar_chart(labels, series, title=title, width=36)
+
+
+GALLERY = [
+    ("fig06a_locality_sweep.txt", ["stat", "dyn"]),
+    ("fig07_sbsize_sweep.txt", ["stat", "dyn"]),
+    ("fig08a_splash2.txt", ["stat", "dyn"]),
+    ("fig08b_spec06.txt", ["stat", "dyn"]),
+    ("fig08c_dbms.txt", ["stat", "dyn"]),
+    ("fig09a_splash2_miss_rate.txt", ["stat", "dyn"]),
+]
+
+
+def main() -> None:
+    results = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).parent.parent / "benchmarks" / "results"
+    )
+    if not results.is_dir():
+        raise SystemExit(
+            f"no results at {results}; run `pytest benchmarks/ --benchmark-only` first"
+        )
+    shown = 0
+    for name, columns in GALLERY:
+        path = results / name
+        if not path.exists():
+            continue
+        print(chart_from_table(path, columns))
+        print()
+        shown += 1
+    if not shown:
+        raise SystemExit("no recorded figures found; run the benchmark suite first")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Timing-channel protection: periodic ORAM accesses (sections 2.5, 5.6).
+
+Even a perfect ORAM leaks through *when* accesses happen: a burst of memory
+traffic reveals a loop, silence reveals computation.  The fix is a strictly
+periodic access schedule (one access every Oint cycles, dummies filling
+idle slots).  This example shows:
+
+1. the adversary-visible access COUNT over a horizon is identical for a
+   memory-hungry and an almost-idle program once periodicity is on;
+2. the performance cost of periodicity at the paper's Oint = 100 is small;
+3. PrORAM keeps its gains under the periodic schedule (Figure 15).
+
+Run:
+    python examples/timing_channel_demo.py
+"""
+
+from repro.analysis.experiments import experiment_config, run_schemes
+from repro.workloads.base import trace_for
+from repro.workloads.splash2 import SPLASH2_BY_NAME
+from repro.sim.trace import Trace
+from repro.utils.rng import DeterministicRng
+
+
+def make_traces(footprint=4096, horizon_refs=20_000):
+    """Two programs with identical length but opposite memory appetites."""
+    rng = DeterministicRng(5)
+    hungry = Trace("hungry", footprint_blocks=footprint)
+    idle = Trace("idle", footprint_blocks=footprint)
+    for _ in range(horizon_refs):
+        hungry.append(2, rng.randint(0, footprint - 1))
+        # The idle program computes ~50x longer between references and
+        # stays in a tiny hot set (it almost never touches the ORAM).
+        idle.append(100, rng.randint(0, 63))
+    return hungry, idle
+
+
+def main() -> None:
+    config = experiment_config()
+
+    # ---- 1. the schedule hides memory appetite --------------------------
+    hungry, idle = make_traces()
+    res_hungry = run_schemes(hungry, ["oram_intvl"], config=config)["oram_intvl"]
+    res_idle = run_schemes(idle, ["oram_intvl"], config=config)["oram_intvl"]
+
+    def rate(result):
+        return result.total_memory_accesses / result.cycles
+
+    print("periodic ORAM, Oint = 100 cycles:")
+    print(
+        f"  memory-hungry program: {res_hungry.total_memory_accesses} accesses "
+        f"in {res_hungry.cycles} cycles  ({rate(res_hungry) * 1e3:.3f} /kcycle)"
+    )
+    print(
+        f"  almost-idle program:   {res_idle.total_memory_accesses} accesses "
+        f"in {res_idle.cycles} cycles  ({rate(res_idle) * 1e3:.3f} /kcycle)"
+    )
+    print(
+        "  => the adversary sees the same fixed access *rate* either way;\n"
+        "     dummies fill every idle slot "
+        f"({res_idle.dummy_accesses} dummies for the idle program)."
+    )
+
+    # ---- 2 & 3. cost of periodicity, PrORAM under periodicity -----------
+    trace = trace_for(SPLASH2_BY_NAME["ocean_c"], accesses=60_000)
+    res = run_schemes(
+        trace, ["oram", "oram_intvl", "dyn_intvl"], config=config, warmup_fraction=0.5
+    )
+    base = res["oram_intvl"]
+    print(f"\nocean_c under periodic accesses (Oint = 100):")
+    print(f"  periodicity cost vs free-running ORAM: "
+          f"{base.cycles / res['oram'].cycles - 1:+.1%}")
+    print(f"  PrORAM gain over the periodic baseline: "
+          f"{res['dyn_intvl'].speedup_over(base):+.1%}")
+    print("  => timing protection and dynamic super blocks compose.")
+
+
+if __name__ == "__main__":
+    main()

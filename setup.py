@@ -1,0 +1,10 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+The environment has setuptools but no `wheel`, which breaks PEP 517
+editable installs; keeping a classic setup.py lets pip fall back to the
+legacy `setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Experiment harness: run scheme matrices, compute paper metrics, render tables."""
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, sparkline
+from repro.analysis.experiments import (
+    ExperimentRow,
+    experiment_config,
+    run_schemes,
+    summarize,
+)
+from repro.analysis.stash_study import StashProfile, stash_occupancy_profile
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "ExperimentRow",
+    "StashProfile",
+    "bar_chart",
+    "experiment_config",
+    "format_series",
+    "format_table",
+    "grouped_bar_chart",
+    "run_schemes",
+    "sparkline",
+    "stash_occupancy_profile",
+    "summarize",
+]

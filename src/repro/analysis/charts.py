@@ -1,0 +1,96 @@
+"""ASCII bar charts: render figure series the way the paper plots them.
+
+The benchmark harness records numeric tables; these helpers turn the same
+series into horizontal bar charts for terminals, used by the examples and
+the CLI so a reader can *see* the shapes (who wins, where the crossovers
+are) without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+FULL = "#"
+EMPTY = " "
+
+
+def _scale(values: Sequence[float], width: int) -> float:
+    biggest = max((abs(v) for v in values), default=0.0)
+    return biggest / width if biggest > 0 else 1.0
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart with a zero axis (negative bars grow left).
+
+    >>> print(bar_chart(["a", "b"], [0.2, -0.1], width=10))  # doctest: +SKIP
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    half = width // 2
+    per_cell = _scale(values, half)
+    label_width = max((len(label) for label in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        cells = int(round(abs(value) / per_cell)) if per_cell else 0
+        cells = min(cells, half)
+        if value >= 0:
+            bar = EMPTY * half + "|" + FULL * cells + EMPTY * (half - cells)
+        else:
+            bar = EMPTY * (half - cells) + FULL * cells + "|" + EMPTY * half
+        lines.append(f"{label.rjust(label_width)} {bar} {value:+.3f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """One bar row per (label, series) pair, grouped by label.
+
+    Mirrors the paper's grouped bars (e.g. stat/dyn per benchmark).
+    """
+    flat: List[float] = [v for values in series.values() for v in values]
+    half = width // 2
+    per_cell = _scale(flat, half)
+    name_width = max((len(name) for name in series), default=0)
+    label_width = max((len(label) for label in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, label in enumerate(labels):
+        for name, values in series.items():
+            value = values[i]
+            cells = int(round(abs(value) / per_cell)) if per_cell else 0
+            cells = min(cells, half)
+            if value >= 0:
+                bar = EMPTY * half + "|" + FULL * cells + EMPTY * (half - cells)
+            else:
+                bar = EMPTY * (half - cells) + FULL * cells + "|" + EMPTY * half
+            prefix = label.rjust(label_width) if name == next(iter(series)) else " " * label_width
+            lines.append(f"{prefix} {name.rjust(name_width)} {bar} {value:+.3f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend of a series (used for stash-occupancy traces)."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        glyphs[min(len(glyphs) - 1, int((v - low) / span * (len(glyphs) - 1)))]
+        for v in values
+    )

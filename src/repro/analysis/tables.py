@@ -1,0 +1,42 @@
+"""ASCII rendering of the rows/series the benchmark harness prints.
+
+The benchmarks regenerate every figure as a table of the same series the
+paper plots; these helpers keep the output uniform and diff-able (they are
+what lands in bench_output.txt and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:+.3f}" if -10 < cell < 10 else f"{cell:.1f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Fixed-width table with a header rule."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_series(title: str, xs: Sequence[Cell], series: dict) -> str:
+    """A titled table with one x column and one column per named series."""
+    headers = ["x"] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for values in series.values()])
+    return f"{title}\n{format_table(headers, rows)}"

@@ -1,0 +1,112 @@
+"""Two-level inclusive cache hierarchy: per-core L1 + shared LLC (Table 1).
+
+The simulator models a single tile (one memory controller, section 5.1), so
+there is one L1 and one LLC.  The hierarchy is *inclusive*: every L1 line
+is also in the LLC, and evicting an LLC line back-invalidates the L1.  In
+the ORAM configurations every line leaving the LLC must return to the ORAM
+domain (the block was removed from the tree when fetched), so the hierarchy
+reports each LLC eviction -- dirty or clean -- to a victim callback.
+
+Prefetched blocks are inserted into the LLC only (not the L1), matching
+"the other blocks are prefetched and put into the LLC" (section 3.2); their
+first use is therefore an LLC hit, which is where the scheme's hit-bit
+update hooks in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.cache.set_associative import EvictedLine, SetAssociativeCache
+from repro.config import CacheConfig
+
+
+@dataclass
+class HierarchyAccess:
+    """Outcome of one processor access."""
+
+    level: str  # "l1", "llc", or "miss"
+    latency: int
+
+
+class CacheHierarchy:
+    """L1 + shared LLC with inclusive back-invalidation."""
+
+    def __init__(
+        self,
+        l1_config: CacheConfig,
+        llc_config: CacheConfig,
+        victim_callback: Optional[Callable[[int, bool], None]] = None,
+    ):
+        self.l1 = SetAssociativeCache(l1_config, name="l1")
+        self.llc = SetAssociativeCache(llc_config, name="llc")
+        #: called as (addr, dirty) for every line leaving the LLC
+        self.victim_callback = victim_callback
+        self.llc_hits_on_prefetch_path = 0
+
+    # ----------------------------------------------------------------- access
+    def access(self, addr: int, is_write: bool) -> HierarchyAccess:
+        """Processor load/store at line address ``addr``.
+
+        On an L1 miss / LLC hit the line is promoted into the L1.  On a full
+        miss the caller must fetch from memory and then call
+        :meth:`fill_demand`.
+        """
+        if self.l1.lookup(addr, is_write):
+            if is_write:
+                # Write-through of the dirty bit to the LLC keeps eviction
+                # bookkeeping simple (the LLC is the point of coherence with
+                # the ORAM domain).
+                self.llc.mark_dirty(addr)
+            return HierarchyAccess("l1", self.l1.config.hit_latency)
+        if self.llc.lookup(addr, is_write):
+            self._promote_to_l1(addr)
+            return HierarchyAccess(
+                "llc", self.l1.config.hit_latency + self.llc.config.hit_latency
+            )
+        return HierarchyAccess("miss", 0)
+
+    def _promote_to_l1(self, addr: int) -> None:
+        victim = self.l1.insert(addr, dirty=False)
+        # Inclusive hierarchy: the L1 victim's data is still in the LLC
+        # (dirtiness was written through), so the eviction is silent.
+        del victim
+
+    # ------------------------------------------------------------------ fills
+    def fill_demand(self, addr: int, is_write: bool) -> None:
+        """Install a demand-fetched line in both levels."""
+        self._insert_llc(addr, dirty=is_write)
+        self._promote_to_l1(addr)
+
+    def fill_prefetch(self, addr: int) -> None:
+        """Install a prefetched line in the LLC only."""
+        self._insert_llc(addr, dirty=False)
+
+    def _insert_llc(self, addr: int, dirty: bool) -> None:
+        victim = self.llc.insert(addr, dirty=dirty)
+        if victim is not None:
+            self._handle_llc_eviction(victim)
+
+    def _handle_llc_eviction(self, victim: EvictedLine) -> None:
+        # Inclusive: pull the line out of the L1 as well; the L1 copy's
+        # dirtiness is already reflected in the LLC state (write-through of
+        # the dirty bit in :meth:`access`).
+        self.l1.invalidate(victim.addr)
+        if self.victim_callback is not None:
+            self.victim_callback(victim.addr, victim.dirty)
+
+    def invalidate(self, addr: int) -> None:
+        """Drop a line entirely (tests)."""
+        self.l1.invalidate(addr)
+        victim = self.llc.invalidate(addr)
+        if victim is not None and self.victim_callback is not None:
+            self.victim_callback(victim.addr, victim.dirty)
+
+    # ------------------------------------------------------------------- misc
+    def contains(self, addr: int) -> bool:
+        """LLC tag probe (the merge algorithm's neighbor check)."""
+        return self.llc.contains(addr)
+
+    def resident_addresses(self) -> List[int]:
+        return self.llc.resident_addresses()

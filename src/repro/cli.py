@@ -1,0 +1,225 @@
+"""Command-line interface: run simulations and experiments without pytest.
+
+Usage (also via ``python -m repro``):
+
+    repro list                               # workloads and schemes
+    repro run -w ocean_c -s oram,stat,dyn    # one Figure 8 bar
+    repro run -w YCSB -s dyn --accesses 40000
+    repro sweep locality -s stat,dyn         # Figure 6a
+    repro sweep stash -w ocean_c             # Figure 12
+    repro trace -w mcf -o mcf.trace          # export a trace file
+    repro audit -w ocean_c                   # obliviousness statistics
+
+Every command prints the same tables the benchmark harness records; the
+heavy lifting lives in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import experiment_config, run_schemes
+from repro.analysis.tables import format_table
+from repro.security.observer import AccessObserver
+from repro.security.statistics import chi_square_uniformity, lag_autocorrelation
+from repro.sim.system import SecureSystem
+from repro.sim.trace import Trace
+from repro.workloads.base import trace_for
+from repro.workloads.dbms import DBMS_PROFILES, dbms_trace
+from repro.workloads.spec06 import SPEC06_BY_NAME, SPEC06_PROFILES
+from repro.workloads.splash2 import SPLASH2_BY_NAME, SPLASH2_PROFILES
+from repro.workloads.synthetic import locality_mix_trace
+
+KNOWN_SCHEMES = [
+    "dram", "dram_pre", "oram", "oram_pre", "stat", "dyn",
+    "dyn_sm_nb", "dyn_am_nb", "dyn_am_ab", "dyn_sm_ab",
+    "oram_intvl", "stat_intvl", "dyn_intvl",
+]
+
+
+def build_trace(workload: str, accesses: int, seed: int = 42) -> Trace:
+    """Trace for any named workload (real benchmark or ``locality:<pct>``)."""
+    if workload.startswith("locality:"):
+        fraction = float(workload.split(":", 1)[1]) / 100.0
+        return locality_mix_trace(fraction, accesses=accesses)
+    if workload in SPLASH2_BY_NAME:
+        return trace_for(SPLASH2_BY_NAME[workload], accesses=accesses)
+    if workload in SPEC06_BY_NAME:
+        return trace_for(SPEC06_BY_NAME[workload], accesses=accesses)
+    if workload in ("YCSB", "TPCC"):
+        return dbms_trace(workload, accesses=accesses)
+    raise SystemExit(f"unknown workload '{workload}' (see `repro list`)")
+
+
+def _parse_schemes(raw: str) -> List[str]:
+    schemes = [s.strip() for s in raw.split(",") if s.strip()]
+    for scheme in schemes:
+        base = scheme
+        if base not in KNOWN_SCHEMES:
+            raise SystemExit(f"unknown scheme '{scheme}' (see `repro list`)")
+    return schemes
+
+
+# ------------------------------------------------------------------ commands
+def cmd_list(args) -> int:
+    print("Schemes:")
+    print("  " + ", ".join(KNOWN_SCHEMES))
+    print("\nWorkloads:")
+    for title, profiles in [
+        ("Splash2", SPLASH2_PROFILES),
+        ("SPEC06", SPEC06_PROFILES),
+        ("DBMS", DBMS_PROFILES),
+    ]:
+        names = ", ".join(p.name for p in profiles)
+        print(f"  {title}: {names}")
+    print("  synthetic: locality:<percent>  (e.g. locality:80)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    trace = build_trace(args.workload, args.accesses, seed=args.seed)
+    schemes = _parse_schemes(args.schemes)
+    print(
+        f"{trace.name}: {len(trace)} references over {trace.footprint_blocks} "
+        f"blocks ({trace.write_fraction:.0%} writes)"
+    )
+    results = run_schemes(
+        trace, schemes, config=experiment_config(), warmup_fraction=args.warmup
+    )
+    baseline = results.get("oram") or next(iter(results.values()))
+    rows = []
+    for scheme in schemes:
+        r = results[scheme]
+        rows.append(
+            [
+                scheme,
+                r.cycles,
+                r.llc_misses,
+                r.total_memory_accesses,
+                r.speedup_over(baseline),
+                r.merges,
+                r.breaks,
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "cycles", "llc_misses", "mem_accesses",
+             f"speedup_vs_{baseline.scheme}", "merges", "breaks"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    schemes = _parse_schemes(args.schemes)
+    config = experiment_config()
+    rows = []
+    if args.parameter == "locality":
+        for pct in (0, 20, 40, 60, 80, 100):
+            trace = locality_mix_trace(pct / 100.0, accesses=args.accesses)
+            res = run_schemes(trace, ["oram"] + schemes, config=config, warmup_fraction=args.warmup)
+            rows.append(
+                [f"{pct}%"] + [res[s].speedup_over(res["oram"]) for s in schemes]
+            )
+        print(format_table(["locality"] + schemes, rows))
+        return 0
+    if args.parameter == "stash":
+        trace = build_trace(args.workload, args.accesses, seed=args.seed)
+        for stash in (25, 50, 100, 200, 400):
+            cfg = experiment_config(stash_blocks=stash)
+            res = run_schemes(trace, ["oram"] + schemes, config=cfg, warmup_fraction=args.warmup)
+            rows.append(
+                [stash] + [res[s].speedup_over(res["oram"]) for s in schemes]
+            )
+        print(format_table(["stash"] + schemes, rows))
+        return 0
+    if args.parameter == "z":
+        trace = build_trace(args.workload, args.accesses, seed=args.seed)
+        for z in (3, 4, 5):
+            cfg = experiment_config(bucket_size=z)
+            res = run_schemes(trace, ["oram"] + schemes, config=cfg, warmup_fraction=args.warmup)
+            rows.append([z] + [res[s].speedup_over(res["oram"]) for s in schemes])
+        print(format_table(["Z"] + schemes, rows))
+        return 0
+    raise SystemExit(f"unknown sweep parameter '{args.parameter}'")
+
+
+def cmd_trace(args) -> int:
+    trace = build_trace(args.workload, args.accesses, seed=args.seed)
+    trace.save(args.output)
+    print(
+        f"wrote {len(trace)} entries ({trace.footprint_blocks} blocks) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def cmd_audit(args) -> int:
+    trace = build_trace(args.workload, args.accesses, seed=args.seed)
+    observer = AccessObserver()
+    system = SecureSystem.build(
+        args.scheme, trace.footprint_blocks, experiment_config(), observer=observer
+    )
+    system.run(trace)
+    leaves = observer.leaves()
+    num_leaves = system.backend.oram.config.num_leaves
+    _, p = chi_square_uniformity(leaves, num_leaves)
+    corr = lag_autocorrelation(leaves, lag=1)
+    print(f"{len(leaves)} path accesses over {num_leaves} leaves")
+    print(f"uniformity chi^2 p-value: {p:.4f}")
+    print(f"lag-1 autocorrelation:    {corr:+.4f}")
+    verdict = "OBLIVIOUS" if p > 1e-3 and abs(corr) < 0.05 else "SUSPECT"
+    print(f"verdict: {verdict}")
+    return 0 if verdict == "OBLIVIOUS" else 1
+
+
+# --------------------------------------------------------------------- main
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PrORAM reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and schemes").set_defaults(func=cmd_list)
+
+    def common(p, workload_required=True):
+        p.add_argument("-w", "--workload", required=workload_required, default="ocean_c")
+        p.add_argument("--accesses", type=int, default=60_000)
+        p.add_argument("--warmup", type=float, default=0.5)
+        p.add_argument("--seed", type=int, default=42)
+
+    run_p = sub.add_parser("run", help="run one workload through schemes")
+    common(run_p)
+    run_p.add_argument("-s", "--schemes", default="oram,stat,dyn")
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="parameter sweeps (locality/stash/z)")
+    sweep_p.add_argument("parameter", choices=["locality", "stash", "z"])
+    common(sweep_p, workload_required=False)
+    sweep_p.add_argument("-s", "--schemes", default="stat,dyn")
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    trace_p = sub.add_parser("trace", help="export a workload trace to a file")
+    common(trace_p)
+    trace_p.add_argument("-o", "--output", required=True)
+    trace_p.set_defaults(func=cmd_trace)
+
+    audit_p = sub.add_parser("audit", help="obliviousness audit of a scheme")
+    common(audit_p)
+    audit_p.add_argument("-s", "--scheme", default="dyn")
+    audit_p.set_defaults(func=cmd_audit)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

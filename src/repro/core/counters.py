@@ -1,0 +1,83 @@
+"""Merge/break counters packed into PosMap entry bits (section 4.1, Figure 4).
+
+PrORAM stores one merge bit and one break bit next to each position map
+entry.  Counters are *reconstructed* from those bits whenever the relevant
+PosMap block is on-chip:
+
+* the **merge counter** of a pair of neighbor (super) blocks of size ``n``
+  each is the concatenation of the ``2n`` merge bits of the basic blocks in
+  the combined aligned group -- a ``2n``-bit saturating counter;
+* the **break counter** of a super block of size ``m`` is the concatenation
+  of its ``m`` break bits -- an ``m``-bit saturating counter.
+
+"Once super blocks are merged or broken, the counters are reconstructed and
+the bits are reused for different super block sizes.  This keeps the
+hardware overhead small."  These helpers are that codec plus the initial
+values and widths of section 4.4.1.
+
+Bit order convention: the bit of the lowest basic-block address is the most
+significant.  Any fixed convention works; tests pin this one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def bits_to_value(bits: List[int]) -> int:
+    """Reconstruct a counter value from per-block bits (low address = MSB)."""
+    value = 0
+    for bit in bits:
+        value = (value << 1) | (1 if bit else 0)
+    return value
+
+
+def value_to_bits(value: int, width: int) -> List[int]:
+    """Decompose a counter value back into per-block bits.
+
+    Raises:
+        ValueError: if the value does not fit in ``width`` bits (callers
+        must saturate first).
+    """
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def counter_max(width: int) -> int:
+    """Largest value a ``width``-bit counter can hold."""
+    return (1 << width) - 1
+
+
+def saturate(value: int, width: int) -> int:
+    """Clamp a raw (possibly out-of-range) value into the counter's range.
+
+    "Incrementing a counter that is already the maximum value does not
+    change the counter.  Same for decrementing." (footnote to Algorithm 1)
+    """
+    return max(0, min(value, counter_max(width)))
+
+
+def merge_counter_width(half_size: int) -> int:
+    """Width of the merge counter for two neighbors of ``half_size`` each."""
+    return 2 * half_size
+
+
+def static_merge_threshold(half_size: int) -> int:
+    """Static merge threshold (section 4.4.1): ``2n`` for size-``n`` halves.
+
+    "Two neighbor blocks B1 and B2 of size n = 2**k are merged when the
+    value of their merge counter is higher or equal to 2n" -- thresholds
+    2, 4, 8 for half sizes 1, 2, 4.
+    """
+    return 2 * half_size
+
+
+def initial_break_value(sbsize: int) -> int:
+    """Initial break counter value for a freshly merged super block.
+
+    Section 4.4.1 sets it to ``2n`` for a size-``n`` super block, saturated
+    to the ``n``-bit counter's range (for ``sbsize == 2`` the 2-bit counter
+    cannot hold 4, so it starts at its maximum, 3).
+    """
+    return saturate(2 * sbsize, sbsize)

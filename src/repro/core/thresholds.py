@@ -1,0 +1,153 @@
+"""Merge/break threshold policies (paper section 4.4).
+
+Two policies are provided:
+
+* :class:`StaticThresholdPolicy` (4.4.1): merge two size-``n`` neighbors at
+  counter value ``2n``; break at 0.
+* :class:`AdaptiveThresholdPolicy` (4.4.2): Equation 1,
+
+  .. math::
+
+     threshold = C \\cdot \\frac{sbsize^2 \\cdot eviction\\_rate \\cdot
+     access\\_rate}{prefetch\\_hit\\_rate}
+
+  with rates collected over a sliding window (1000 ORAM requests in the
+  paper) and hysteresis ``threshold_merge = threshold + sbsize``,
+  ``threshold_break = threshold``.
+
+The comparison conventions (shared with :mod:`repro.core.dynamic`):
+
+* *merge* when the saturated merge counter is ``>= merge_threshold``;
+* *break* when the **raw** (pre-saturation) break counter is
+  ``< break_threshold`` -- with the static threshold of 0 this fires
+  exactly when a decrement would push the counter below its minimum,
+  which is the only way "smaller than the minimal value" can occur.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.counters import static_merge_threshold
+
+#: Window length, in ORAM requests, for adaptive statistics (section 4.4.2).
+DEFAULT_WINDOW_REQUESTS = 1000
+
+
+class ThresholdPolicy(ABC):
+    """Decides merge/break thresholds; may consume runtime statistics."""
+
+    @abstractmethod
+    def merge_threshold(self, result_size: int) -> float:
+        """Threshold for merging two halves into a ``result_size`` super block."""
+
+    @abstractmethod
+    def break_threshold(self, sbsize: int) -> float:
+        """Threshold for breaking a ``sbsize`` super block."""
+
+    # ----- runtime statistics feed (no-ops for the static policy) -----
+    def on_request(self, busy_cycles: int, elapsed_cycles: int) -> None:
+        """One real ORAM request finished, having kept the ORAM busy for
+        ``busy_cycles`` out of the ``elapsed_cycles`` since the previous
+        request."""
+
+    def on_background_eviction(self, count: int = 1) -> None:
+        """Background evictions issued (dummy accesses)."""
+
+    def on_prefetch_hit(self) -> None:
+        """A prefetched block was used in the LLC."""
+
+    def on_prefetch_miss(self) -> None:
+        """A prefetched block left the LLC unused."""
+
+
+class StaticThresholdPolicy(ThresholdPolicy):
+    """Fixed thresholds (section 4.4.1)."""
+
+    def merge_threshold(self, result_size: int) -> float:
+        # result_size == 2n for halves of size n; the threshold is 2n.
+        return float(static_merge_threshold(result_size // 2))
+
+    def break_threshold(self, sbsize: int) -> float:
+        return 0.0
+
+
+@dataclass
+class _WindowStats:
+    requests: int = 0
+    background_evictions: int = 0
+    busy_cycles: int = 0
+    elapsed_cycles: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+
+
+class AdaptiveThresholdPolicy(ThresholdPolicy):
+    """Equation 1 with windowed rate estimation (section 4.4.2).
+
+    Args:
+        c_merge: the merge coefficient ``Cmerge`` (Figure 10 sweeps it).
+        c_break: the break coefficient ``Cbreak``.
+        window_requests: requests per statistics window (paper: 1000).
+    """
+
+    def __init__(
+        self,
+        c_merge: float = 1.0,
+        c_break: float = 1.0,
+        window_requests: int = DEFAULT_WINDOW_REQUESTS,
+    ):
+        if window_requests < 1:
+            raise ValueError("window must cover at least one request")
+        self.c_merge = c_merge
+        self.c_break = c_break
+        self.window_requests = window_requests
+        self._window = _WindowStats()
+        # Rates from the last completed window.  Optimistic defaults: until
+        # evidence arrives, merging is as easy as under static thresholds.
+        self.eviction_rate = 0.0
+        self.access_rate = 0.0
+        self.prefetch_hit_rate = 1.0
+
+    # ------------------------------------------------------------ statistics
+    def on_request(self, busy_cycles: int, elapsed_cycles: int) -> None:
+        w = self._window
+        w.requests += 1
+        w.busy_cycles += busy_cycles
+        w.elapsed_cycles += elapsed_cycles
+        if w.requests >= self.window_requests:
+            self._roll_window()
+
+    def on_background_eviction(self, count: int = 1) -> None:
+        self._window.background_evictions += count
+
+    def on_prefetch_hit(self) -> None:
+        self._window.prefetch_hits += 1
+
+    def on_prefetch_miss(self) -> None:
+        self._window.prefetch_misses += 1
+
+    def _roll_window(self) -> None:
+        w = self._window
+        total_requests = w.requests + w.background_evictions
+        self.eviction_rate = w.background_evictions / max(1, total_requests)
+        self.access_rate = min(1.0, w.busy_cycles / max(1, w.elapsed_cycles))
+        resolved = w.prefetch_hits + w.prefetch_misses
+        if resolved > 0:
+            self.prefetch_hit_rate = w.prefetch_hits / resolved
+        # else: keep the previous estimate; no prefetches resolved means no
+        # new evidence either way.
+        self._window = _WindowStats()
+
+    # ------------------------------------------------------------ thresholds
+    def _base_threshold(self, sbsize: int, coefficient: float) -> float:
+        hit_rate = max(self.prefetch_hit_rate, 1e-3)
+        return coefficient * (sbsize**2) * self.eviction_rate * self.access_rate / hit_rate
+
+    def merge_threshold(self, result_size: int) -> float:
+        """``threshold + sbsize`` hysteresis term (section 4.4.2)."""
+        return self._base_threshold(result_size, self.c_merge) + result_size
+
+    def break_threshold(self, sbsize: int) -> float:
+        return self._base_threshold(sbsize, self.c_break)

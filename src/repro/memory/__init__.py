@@ -1,0 +1,17 @@
+"""Memory subsystem: DRAM model, ORAM timing/backend, timing protection."""
+
+from repro.memory.backend import BackendStats, DemandResult, MemoryBackend
+from repro.memory.dram import DRAMBackend
+from repro.memory.oram_backend import ORAMBackend
+from repro.memory.periodic import PeriodicORAMBackend
+from repro.memory.timing import ORAMTimingModel
+
+__all__ = [
+    "BackendStats",
+    "DRAMBackend",
+    "DemandResult",
+    "MemoryBackend",
+    "ORAMBackend",
+    "ORAMTimingModel",
+    "PeriodicORAMBackend",
+]

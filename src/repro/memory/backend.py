@@ -1,0 +1,82 @@
+"""The memory-backend interface the secure-processor simulator drives.
+
+A backend owns all timing below the LLC.  The in-order core calls
+:meth:`MemoryBackend.demand_access` on every LLC miss and stalls until the
+returned completion cycle; the cache hierarchy reports LLC victims through
+:meth:`MemoryBackend.evict_line`; the optional traditional prefetcher asks
+for :meth:`MemoryBackend.prefetch_access`.
+
+Implementations: :class:`repro.memory.dram.DRAMBackend` (insecure
+baseline), :class:`repro.memory.oram_backend.ORAMBackend` (Path ORAM with a
+pluggable super block scheme), and
+:class:`repro.memory.periodic.PeriodicORAMBackend` (timing-channel
+protected wrapper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class DemandResult:
+    """Outcome of a demand miss.
+
+    Attributes:
+        completion_cycle: when the demand block is available to the core.
+        filled: (addr, prefetched) lines to install in the LLC -- the
+            demand line plus any super block members fetched with it.
+    """
+
+    completion_cycle: int
+    filled: List[Tuple[int, bool]] = field(default_factory=list)
+
+
+@dataclass
+class BackendStats:
+    """Counters common to all backends (energy = total accesses, section 5.1)."""
+
+    demand_requests: int = 0
+    prefetch_requests: int = 0
+    #: dirty-writeback accesses (full ORAM write accesses / DRAM transfers)
+    write_accesses: int = 0
+    #: path accesses for ORAM backends / line transfers for DRAM
+    memory_accesses: int = 0
+    dummy_accesses: int = 0
+    posmap_accesses: int = 0
+    busy_cycles: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        """The paper's energy proxy: every access the memory performs."""
+        return self.memory_accesses + self.dummy_accesses
+
+
+class MemoryBackend(ABC):
+    """Timing + functional model of everything behind the LLC."""
+
+    def __init__(self) -> None:
+        self.stats = BackendStats()
+        self.busy_until = 0
+
+    @abstractmethod
+    def demand_access(self, addr: int, now: int, is_write: bool) -> DemandResult:
+        """Serve an LLC demand miss issued at cycle ``now``."""
+
+    def prefetch_access(self, addr: int, now: int) -> Optional[DemandResult]:
+        """Serve a prefetch request; None when the backend declines.
+
+        Default: backends do not support traditional prefetching.
+        """
+        return None
+
+    def evict_line(self, addr: int, dirty: bool, now: int) -> None:
+        """An LLC victim left the cache hierarchy (default: ignored)."""
+
+    def on_llc_hit(self, addr: int) -> None:
+        """The processor hit ``addr`` in the LLC (prefetch-bit bookkeeping)."""
+
+    def finalize(self, now: int) -> None:
+        """Simulation ended at cycle ``now`` (flush window statistics)."""

@@ -1,0 +1,71 @@
+"""Insecure DRAM baseline (section 5.1).
+
+"The DRAM in Graphite is simply modeled by a flat latency", 16 GB/s of pin
+bandwidth, and bank-level parallelism: "the insecure DRAM model can exploit
+bank-level parallelism and issue multiple memory requests at the same
+time".  We model each access as flat latency at its bank, with the shared
+pin bus metering aggregate bandwidth (one line's transfer time per access).
+
+Prefetch requests are accepted at low priority: a prefetch only occupies
+the bus slack between demand requests, which is exactly why traditional
+prefetching works on DRAM and not on ORAM (section 3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.config import DRAMConfig
+from repro.memory.backend import DemandResult, MemoryBackend
+
+
+class DRAMBackend(MemoryBackend):
+    """Flat-latency, banked DRAM with pin-bandwidth metering."""
+
+    def __init__(self, config: DRAMConfig, block_bytes: int):
+        super().__init__()
+        self.config = config
+        self.block_bytes = block_bytes
+        self.transfer_cycles = max(1, int(math.ceil(block_bytes / config.bytes_per_cycle)))
+        self._bank_free: List[int] = [0] * config.num_banks
+        self._bus_free = 0
+
+    def _bank_for(self, addr: int) -> int:
+        return addr % self.config.num_banks
+
+    def _schedule(self, addr: int, now: int) -> int:
+        """Common timing for any line transfer; returns completion cycle."""
+        bank = self._bank_for(addr)
+        start = max(now, self._bank_free[bank])
+        # The line crosses the pins after the array access; pin slots are
+        # granted in arrival order.
+        transfer_start = max(start + self.config.latency_cycles, self._bus_free)
+        completion = transfer_start + self.transfer_cycles
+        self._bank_free[bank] = start + self.config.latency_cycles
+        self._bus_free = completion
+        self.busy_until = max(self.busy_until, completion)
+        self.stats.memory_accesses += 1
+        self.stats.busy_cycles += self.transfer_cycles
+        return completion
+
+    def demand_access(self, addr: int, now: int, is_write: bool) -> DemandResult:
+        self.stats.demand_requests += 1
+        completion = self._schedule(addr, now)
+        return DemandResult(completion_cycle=completion, filled=[(addr, False)])
+
+    def prefetch_access(self, addr: int, now: int) -> Optional[DemandResult]:
+        """Prefetches ride the bus slack; declined when the bus is backlogged."""
+        if self._bus_free > now + self.config.latency_cycles:
+            return None
+        self.stats.prefetch_requests += 1
+        completion = self._schedule(addr, now)
+        return DemandResult(completion_cycle=completion, filled=[(addr, True)])
+
+    def evict_line(self, addr: int, dirty: bool, now: int) -> None:
+        """Dirty write-backs consume bus bandwidth but never stall the core."""
+        if dirty:
+            self.stats.write_accesses += 1
+            self.stats.memory_accesses += 1
+            self._bus_free = max(self._bus_free, now) + self.transfer_cycles
+            self.stats.busy_cycles += self.transfer_cycles

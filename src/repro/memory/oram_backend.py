@@ -1,0 +1,194 @@
+"""The ORAM memory controller backend.
+
+Glues together the functional Path ORAM, a super block scheme, the
+recursion/PosMap-cache model, and the latency model, behind the standard
+DRAM-replacement interface of the secure-processor literature:
+
+* an LLC **miss** is an ORAM read access: background evictions drain an
+  over-full stash first ("the ORAM controller stops serving real requests
+  and issues background evictions when the stash is full", section 2.4),
+  then the PosMap hierarchy walk (section 2.3) and the path access run;
+  the super block scheme decides which members' copies fill the LLC and
+  runs its merge/break logic;
+* a **dirty LLC eviction** is an ORAM write access: a full path access that
+  occupies the controller but does not stall the core;
+* a **clean eviction** just drops the copy.
+
+Timing is strictly serialized -- "a single ORAM access saturates the
+available DRAM bandwidth [so] it brings no benefits to serve multiple ORAM
+requests in parallel" (section 2.6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import DRAMConfig, ORAMConfig
+from repro.memory.backend import DemandResult, MemoryBackend
+from repro.memory.timing import ORAMTimingModel
+from repro.oram.path_oram import PathORAM
+from repro.oram.recursion import PosMapHierarchy
+from repro.oram.super_block import SuperBlockScheme
+from repro.utils.rng import DeterministicRng
+
+
+class ORAMBackend(MemoryBackend):
+    """Path ORAM behind the LLC, with a pluggable super block scheme.
+
+    Args:
+        oram_config: functional + nominal ORAM parameters (already scaled
+            to the workload footprint by the caller).
+        dram_config: the physical channel the tree lives on (bandwidth and
+            flat latency feed the path-access cost).
+        scheme: super block strategy (baseline / static / dynamic).
+        rng: deterministic randomness.
+        observer: optional adversary observer forwarded to the ORAM.
+    """
+
+    def __init__(
+        self,
+        oram_config: ORAMConfig,
+        dram_config: DRAMConfig,
+        scheme: SuperBlockScheme,
+        rng: DeterministicRng,
+        observer=None,
+    ):
+        super().__init__()
+        self.config = oram_config
+        self.scheme = scheme
+        self.timing = ORAMTimingModel.from_config(oram_config, dram_config)
+        self.oram = PathORAM(oram_config, rng, observer=observer, populate=False)
+        self.posmap_hierarchy = PosMapHierarchy(
+            num_hierarchies=oram_config.num_hierarchies,
+            entries_per_block=oram_config.posmap_entries_per_block,
+            cache_entries=oram_config.posmap_cache_entries,
+        )
+        self._llc_contains: Callable[[int], bool] = lambda addr: False
+        scheme.attach(self.oram, self._probe_llc)
+        scheme.initialize()
+        self.oram.populate()
+        self._last_request_cycle = 0
+        #: optional callback(occupancy) sampled after every demand access
+        #: (the stash-occupancy study hooks in here)
+        self.stash_sampler: Optional[Callable[[int], None]] = None
+
+    # ----------------------------------------------------------------- wiring
+    def set_llc_probe(self, probe: Callable[[int], bool]) -> None:
+        """Install the LLC tag-probe callback (the system wires this after
+        building the cache hierarchy)."""
+        self._llc_contains = probe
+
+    def _probe_llc(self, addr: int) -> bool:
+        return self._llc_contains(addr)
+
+    # -------------------------------------------------------------- internals
+    def _check_addr(self, addr: int) -> None:
+        if not 0 <= addr < self.oram.position_map.num_blocks:
+            raise ValueError(
+                f"address {addr} outside the ORAM's "
+                f"{self.oram.position_map.num_blocks} blocks"
+            )
+
+    def _perform_access(self, addr: int, start: int, run_scheme: bool) -> tuple:
+        """Shared functional + timing core of read/write/prefetch accesses.
+
+        The scheme hook (Algorithms 1 and 2) runs between the path read and
+        the path write-back, while every member of the super block is
+        physically in the stash -- merge/break re-mappings then commit with
+        the write-back, exactly as the hardware would do it.
+
+        Returns (completion_cycle, FetchOutcome-or-None).
+        """
+        evictions = self.oram.drain_stash()
+        self.stats.dummy_accesses += evictions
+        extra = self.posmap_hierarchy.lookup(addr)
+        self.stats.posmap_accesses += extra
+        members = self.scheme.members_for(addr)
+        blocks = self.oram.begin_access(members)
+        outcome = None
+        if run_scheme:
+            # Members whose copies are already LLC-resident are not "coming
+            # from ORAM" for the scheme's purposes (Algorithm 2).
+            fetched = {
+                member: blocks[member]
+                for member in members
+                if not self._llc_contains(member)
+            }
+            outcome = self.scheme.process_fetch(addr, members, fetched)
+        self.oram.finish_access()
+        path_accesses = evictions + extra + 1
+        latency = self.timing.access_cycles(path_accesses)
+        completion = start + latency
+        self.busy_until = completion
+        self.stats.memory_accesses += extra + 1
+        self.stats.busy_cycles += latency
+        policy = self.scheme.threshold_listener()
+        if policy is not None:
+            if evictions:
+                policy.on_background_eviction(evictions)
+            elapsed = max(1, completion - self._last_request_cycle)
+            policy.on_request(busy_cycles=latency, elapsed_cycles=elapsed)
+        self._last_request_cycle = completion
+        return completion, outcome
+
+    # ----------------------------------------------------------------- access
+    def demand_access(self, addr: int, now: int, is_write: bool) -> DemandResult:
+        self._check_addr(addr)
+        self.stats.demand_requests += 1
+        start = max(now, self.busy_until)
+        completion, outcome = self._perform_access(addr, start, run_scheme=True)
+        if self.stash_sampler is not None:
+            self.stash_sampler(len(self.oram.stash))
+        return DemandResult(completion_cycle=completion, filled=outcome.to_llc)
+
+    def prefetch_access(self, addr: int, now: int) -> Optional[DemandResult]:
+        """Traditional prefetching on ORAM (the section 5.2 experiment).
+
+        A prefetch is a full, blocking path access.  The controller enqueues
+        one as long as its backlog is under one path access deep -- and any
+        demand arriving afterwards waits behind it, which is exactly why
+        this loses on memory-bound programs ("ORAM requests line up in the
+        ORAM controller and there is no idle time for prefetching",
+        section 3.1).
+        """
+        if self.busy_until > now + self.timing.path_cycles:
+            return None
+        if not 0 <= addr < self.oram.position_map.num_blocks:
+            return None
+        self.stats.prefetch_requests += 1
+        start = max(now, self.busy_until)
+        completion, outcome = self._perform_access(addr, start, run_scheme=True)
+        # Every line a prefetch brings in is a prefetched line, including
+        # the nominal "demand" member.
+        for member_addr, _ in outcome.to_llc:
+            self.scheme.tracker.mark_prefetched(member_addr)
+        filled = [(member_addr, True) for member_addr, _ in outcome.to_llc]
+        return DemandResult(completion_cycle=completion, filled=filled)
+
+    # ----------------------------------------------------------- cache events
+    def evict_line(self, addr: int, dirty: bool, now: int) -> None:
+        """An LLC victim left the cache.
+
+        Clean copies are dropped for free; dirty lines are written back
+        with a full ORAM write access that occupies the controller (queued
+        behind whatever it is doing) without stalling the core.
+        """
+        self.scheme.on_llc_evict(addr)
+        if not dirty:
+            return
+        self._check_addr(addr)
+        self.stats.write_accesses += 1
+        start = max(now, self.busy_until)
+        self._perform_access(addr, start, run_scheme=False)
+
+    def on_llc_hit(self, addr: int) -> None:
+        self.scheme.on_llc_hit(addr)
+
+    def finalize(self, now: int) -> None:
+        """Nothing to flush; windowed statistics roll on request boundaries."""
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def background_eviction_rate(self) -> float:
+        total = self.stats.demand_requests + self.stats.dummy_accesses
+        return self.stats.dummy_accesses / total if total else 0.0

@@ -1,0 +1,40 @@
+"""Data blocks stored in the ORAM.
+
+A block is the unit the ORAM moves around -- one cacheline (128 B by
+default).  The *hit bit* of the dynamic super block scheme travels with the
+block (paper section 4.5.1: it is stored with the data block in the ORAM and
+the LLC because the corresponding PosMap block may not be on-chip when an
+LLC hit happens); the merge/break/prefetch bits live in the position map.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Block:
+    """One ORAM data block.
+
+    Attributes:
+        addr: program (logical) block address.
+        leaf: leaf label the block is currently mapped to.  Kept in sync
+            with the position map entry for ``addr`` whenever the block is
+            inside the ORAM domain (tree or stash).
+        data: optional payload.  The timing simulator leaves this ``None``;
+            the functional key-value store carries real bytes.
+
+    The hit bit conceptually travels with the block (hardware cannot reach
+    the PosMap block on an LLC hit); the simulator keeps it in the
+    :class:`~repro.oram.super_block.PrefetchTracker`'s flat array, which is
+    behaviourally identical and cheaper than a per-object attribute.
+    """
+
+    __slots__ = ("addr", "leaf", "data")
+
+    def __init__(self, addr: int, leaf: int, data: Optional[bytes] = None):
+        self.addr = addr
+        self.leaf = leaf
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Block(addr={self.addr}, leaf={self.leaf})"

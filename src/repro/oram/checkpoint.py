@@ -1,0 +1,136 @@
+"""Checkpoint / restore for the functional Path ORAM and the KV store.
+
+A deployable oblivious store must survive restarts: the *untrusted* tree
+lives in external storage anyway, and the trusted state (position map,
+stash, counters bits) would persist in sealed NVRAM.  This module
+serializes both halves of the simulator's state to a portable JSON
+document and restores a behaviourally identical ORAM.
+
+Serialized state: geometry, position map (leaves + merge/break/prefetch
+bits), every bucket's blocks (address, leaf, optional payload), the stash,
+and access counters.  RNG state is intentionally *not* captured -- a
+restored ORAM continues with fresh randomness, exactly like a rebooted
+device, and stays oblivious.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Optional
+
+from repro.config import ORAMConfig
+from repro.oram.block import Block
+from repro.oram.path_oram import PathORAM
+from repro.utils.rng import DeterministicRng
+
+FORMAT_VERSION = 1
+
+
+def _encode_block(block: Block) -> dict:
+    out = {"a": block.addr, "l": block.leaf}
+    if block.data is not None:
+        out["d"] = base64.b64encode(block.data).decode("ascii")
+    return out
+
+
+def _decode_block(raw: dict) -> Block:
+    data = base64.b64decode(raw["d"]) if "d" in raw else None
+    return Block(raw["a"], raw["l"], data)
+
+
+def dump_oram(oram: PathORAM) -> str:
+    """Serialize a Path ORAM to a JSON string."""
+    if oram._pending_writeback is not None:
+        raise RuntimeError("cannot checkpoint mid-access")
+    config = oram.config
+    posmap = oram.position_map
+    n = posmap.num_blocks
+    state = {
+        "version": FORMAT_VERSION,
+        "config": {
+            "levels": config.levels,
+            "bucket_size": config.bucket_size,
+            "stash_blocks": config.stash_blocks,
+            "utilization": config.utilization,
+            "block_bytes": config.block_bytes,
+            "capacity_bytes": config.capacity_bytes,
+            "num_hierarchies": config.num_hierarchies,
+            "max_super_block_size": config.max_super_block_size,
+            "posmap_entries_per_block": config.posmap_entries_per_block,
+            "posmap_cache_entries": config.posmap_cache_entries,
+        },
+        "leaves": [posmap.leaf(a) for a in range(n)],
+        "merge_bits": [posmap.merge_bit(a) for a in range(n)],
+        "break_bits": [posmap.break_bit(a) for a in range(n)],
+        "prefetch_bits": [posmap.prefetch_bit(a) for a in range(n)],
+        "buckets": [
+            [_encode_block(b) for b in oram.tree.bucket(i)]
+            for i in range(oram.tree.num_buckets)
+        ],
+        "stash": [_encode_block(b) for b in oram.stash.iter_blocks()],
+        "counters": {
+            "real_accesses": oram.real_accesses,
+            "dummy_accesses": oram.dummy_accesses,
+            "stash_soft_overflows": oram.stash_soft_overflows,
+        },
+    }
+    return json.dumps(state)
+
+
+def load_oram(
+    payload: str,
+    rng: Optional[DeterministicRng] = None,
+    observer=None,
+) -> PathORAM:
+    """Restore a Path ORAM from :func:`dump_oram` output.
+
+    Args:
+        payload: the JSON document.
+        rng: fresh randomness for the restored instance (a new seed is
+            fine -- and preferable, see the module docstring).
+        observer: optional adversary observer to attach.
+    """
+    state = json.loads(payload)
+    if state.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {state.get('version')!r}")
+    config = ORAMConfig(**state["config"])
+    oram = PathORAM(
+        config, rng or DeterministicRng(0xC8C8), observer=observer, populate=False
+    )
+    oram._populated = True  # state arrives fully formed
+    posmap = oram.position_map
+    n = posmap.num_blocks
+    if len(state["leaves"]) != n:
+        raise ValueError(
+            f"checkpoint holds {len(state['leaves'])} blocks, config implies {n}"
+        )
+    for addr in range(n):
+        posmap.set_leaf(addr, state["leaves"][addr])
+        posmap.set_merge_bit(addr, state["merge_bits"][addr])
+        posmap.set_break_bit(addr, state["break_bits"][addr])
+        posmap.set_prefetch_bit(addr, state["prefetch_bits"][addr])
+    if len(state["buckets"]) != oram.tree.num_buckets:
+        raise ValueError("bucket count mismatch")
+    for index, raw_bucket in enumerate(state["buckets"]):
+        oram.tree._buckets[index] = [_decode_block(raw) for raw in raw_bucket]
+    for raw in state["stash"]:
+        oram.stash.add(_decode_block(raw))
+    counters = state["counters"]
+    oram.real_accesses = counters["real_accesses"]
+    oram.dummy_accesses = counters["dummy_accesses"]
+    oram.stash_soft_overflows = counters["stash_soft_overflows"]
+    oram.check_invariants()
+    return oram
+
+
+def save_oram(oram: PathORAM, path: str) -> None:
+    """Write a checkpoint file."""
+    with open(path, "w") as handle:
+        handle.write(dump_oram(oram))
+
+
+def restore_oram(path: str, rng: Optional[DeterministicRng] = None) -> PathORAM:
+    """Read a checkpoint file."""
+    with open(path) as handle:
+        return load_oram(handle.read(), rng=rng)

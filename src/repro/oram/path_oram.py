@@ -1,0 +1,321 @@
+"""The Path ORAM protocol (paper section 2.2) with background eviction (2.4).
+
+This is the *functional* ORAM: it moves real :class:`~repro.oram.block.Block`
+objects between the binary tree and the stash.  Timing is charged separately
+by :mod:`repro.memory.timing`; obliviousness can be audited by attaching an
+:class:`~repro.security.observer.AccessObserver`.
+
+Domain model
+------------
+Every block always lives in the ORAM domain: on the path of its mapped leaf,
+or in the stash (the Path ORAM invariant).  The secure processor's caches
+hold *copies* -- the standard DRAM-replacement interface of the secure
+processor literature the paper builds on (Ren et al., ISCA'13):
+
+* an LLC miss triggers an ORAM **read access** (:meth:`PathORAM.access`):
+  the path is read, the requested super block is remapped, and the path is
+  written back with the blocks still inside the ORAM;
+* a dirty LLC eviction triggers an ORAM **write access** (the same
+  :meth:`PathORAM.access`, data updated in place);
+* clean evictions just drop the copy.
+
+The :class:`Block` objects returned by :meth:`access` remain owned by the
+ORAM; callers may read or update ``.data`` in place but must not hold
+references across later accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import ORAMConfig
+from repro.oram.block import Block
+from repro.oram.position_map import PositionMap
+from repro.oram.stash import Stash
+from repro.oram.tree import BinaryTree
+from repro.utils.bitops import common_prefix_length
+from repro.utils.rng import DeterministicRng
+
+
+class PathORAM:
+    """Functional Path ORAM over a binary tree with a stash and position map.
+
+    Args:
+        config: geometry and capacity parameters.
+        rng: deterministic randomness (leaf assignment, eviction paths).
+        observer: optional callback object with ``on_path_access(leaf, kind)``
+            recording the adversary-visible access sequence.
+        populate: install ``config.num_blocks`` blocks at construction.
+    """
+
+    #: Bound on consecutive background evictions per drain.  A pathologically
+    #: overloaded tree (e.g. the static scheme at high utilization) can reach
+    #: a state where random-path evictions make little progress; rather than
+    #: deadlocking, the drain gives up for this request -- the stash keeps
+    #: the surplus and the overflow is recorded.  The *cost* still lands
+    #: where the paper puts it: every attempt is a charged dummy access.
+    MAX_EVICTIONS_PER_DRAIN = 64
+
+    def __init__(
+        self,
+        config: ORAMConfig,
+        rng: DeterministicRng,
+        observer=None,
+        populate: bool = True,
+    ):
+        self.config = config
+        self.rng = rng
+        self.observer = observer
+        self.tree = BinaryTree(config.levels, config.bucket_size)
+        self.stash = Stash(config.stash_blocks)
+        self.position_map = PositionMap(
+            num_blocks=max(1, config.num_blocks),
+            num_leaves=config.num_leaves,
+            entries_per_block=config.posmap_entries_per_block,
+            rng=rng.fork(salt=0x9E3779B9),
+        )
+        # Statistics
+        self.real_accesses = 0
+        self.dummy_accesses = 0
+        self.stash_soft_overflows = 0
+        self._populated = False
+        self._pending_writeback: Optional[int] = None
+        if populate:
+            self.populate()
+
+    # ------------------------------------------------------------------ setup
+    def populate(self) -> None:
+        """Install the initial working set.
+
+        Each block is placed on the path of its (already assigned) leaf as
+        deep as possible; blocks that find no free bucket start life in the
+        stash.  At the default utilization almost everything fits.
+
+        Population is deferred when a super block scheme needs to adjust the
+        position map first (the static scheme merges at initialization time,
+        section 3.3, which must happen before blocks are physically placed).
+        """
+        if self._populated:
+            raise RuntimeError("ORAM already populated")
+        self._populated = True
+        levels = self.config.levels
+        z = self.config.bucket_size
+        for addr in range(self.position_map.num_blocks):
+            leaf = self.position_map.leaf(addr)
+            block = Block(addr, leaf)
+            placed = False
+            for level in range(levels, -1, -1):
+                index = self.tree.bucket_index(level, leaf)
+                bucket = self.tree.bucket(index)
+                if len(bucket) < z:
+                    bucket.append(block)
+                    placed = True
+                    break
+            if not placed:
+                self.stash.add(block)
+
+    # ----------------------------------------------------------------- access
+    def begin_access(
+        self, addrs: Sequence[int], new_leaf: Optional[int] = None
+    ) -> Dict[int, Block]:
+        """Protocol steps 1-4 of one ORAM access on a (super) block.
+
+        All of ``addrs`` must share a mapped leaf (the super block
+        invariant).  The single path is read into the stash and every
+        member is remapped to one new random leaf.  Between this call and
+        :meth:`finish_access` every member physically sits in the stash, so
+        the super block scheme may re-point groups with
+        :meth:`remap_group` (merge/break decisions) before the write-back
+        commits block positions.
+
+        Args:
+            addrs: basic-block addresses of the super block.
+            new_leaf: override the random remap leaf (tests only).
+
+        Returns:
+            Mapping of address -> block for every member.  The blocks stay
+            owned by the ORAM.
+        """
+        if not addrs:
+            raise ValueError("access needs at least one address")
+        leaf = self.position_map.leaf(addrs[0])
+        for addr in addrs[1:]:
+            if self.position_map.leaf(addr) != leaf:
+                raise ValueError(
+                    "super block invariant violated: members mapped to different leaves"
+                )
+        if self._pending_writeback is not None:
+            raise RuntimeError("previous access not finished")
+        self.real_accesses += 1
+        if self.observer is not None:
+            self.observer.on_path_access(leaf, "real")
+        # Step 2: read the whole path into the stash.
+        self._before_path_read(leaf)
+        self.stash.add_all(self.tree.read_path(leaf))
+        # Step 4: remap every member to one fresh random leaf.  (Step 3,
+        # returning the block, happens below -- the order does not matter
+        # functionally and the remap must cover members still in the stash.)
+        assigned = self.position_map.remap(addrs, new_leaf)
+        fetched: Dict[int, Block] = {}
+        for addr in addrs:
+            block = self.stash.peek(addr)
+            if block is None:
+                raise KeyError(f"block {addr} in neither tree nor stash")
+            block.leaf = assigned
+            fetched[addr] = block
+        self._pending_writeback = leaf
+        return fetched
+
+    def finish_access(self) -> None:
+        """Protocol step 5: write the accessed path back from the stash."""
+        if self._pending_writeback is None:
+            raise RuntimeError("no access in progress")
+        leaf = self._pending_writeback
+        self._pending_writeback = None
+        self._evict_path(leaf)
+        self._after_path_write(leaf)
+
+    def access(self, addrs: Sequence[int], new_leaf: Optional[int] = None) -> Dict[int, Block]:
+        """One complete ORAM access (begin + finish, no scheme hook)."""
+        fetched = self.begin_access(addrs, new_leaf)
+        self.finish_access()
+        return fetched
+
+    def remap_group(self, addrs, leaf: Optional[int] = None) -> int:
+        """Remap a group whose members are all on-chip (stash) or cached.
+
+        Used by merge/break: updates the position map and keeps the leaf
+        field of stash-resident blocks in sync.  Callers must only pass
+        groups with no stale *tree*-resident member (guaranteed between
+        ``begin_access`` and ``finish_access`` for the accessed super
+        block, and for merge targets that already share one leaf).
+        """
+        assigned = self.position_map.remap(addrs, leaf)
+        for addr in addrs:
+            block = self.stash.peek(addr)
+            if block is not None:
+                block.leaf = assigned
+        return assigned
+
+    def dummy_access(self, kind: str = "dummy") -> None:
+        """Background eviction / periodic dummy access (sections 2.4, 2.5).
+
+        Reads and writes one uniformly random path without remapping any
+        block: everything just read can at least return to where it was, so
+        stash occupancy cannot increase, and blocks already in the stash
+        may find room on the path.
+        """
+        leaf = self.rng.random_leaf(self.config.num_leaves)
+        self.dummy_accesses += 1
+        if self.observer is not None:
+            self.observer.on_path_access(leaf, kind)
+        self._before_path_read(leaf)
+        self.stash.add_all(self.tree.read_path(leaf))
+        self._evict_path(leaf)
+        self._after_path_write(leaf)
+
+    def drain_stash(self) -> int:
+        """Issue background evictions until the stash is within capacity.
+
+        Returns the number of dummy accesses issued.  The controller calls
+        this before serving a real request when the stash is full
+        (section 2.4).
+        """
+        evictions = 0
+        while self.stash.over_capacity():
+            if evictions >= self.MAX_EVICTIONS_PER_DRAIN:
+                self.stash_soft_overflows += 1
+                break
+            self.dummy_access()
+            evictions += 1
+        return evictions
+
+    # ----------------------------------------------------------------- hooks
+    def _before_path_read(self, leaf: int) -> None:
+        """Hook before a path is read (integrity verification attaches here)."""
+
+    def _after_path_write(self, leaf: int) -> None:
+        """Hook after a path is written back (integrity update attaches here)."""
+
+    # -------------------------------------------------------------- eviction
+    def _evict_path(self, leaf: int) -> None:
+        """Greedy write-back of the stash onto path ``leaf`` (protocol step 5).
+
+        Every stash block is scored by the deepest level it may occupy on
+        this path -- the length of the common prefix of its mapped leaf and
+        ``leaf``.  Buckets are filled deepest-first; blocks that do not fit
+        remain in the stash.
+        """
+        levels = self.config.levels
+        z = self.config.bucket_size
+        # Sort stash blocks by eligible depth, deepest first.
+        scored = sorted(
+            (
+                (common_prefix_length(block.leaf, leaf, levels), block)
+                for block in self.stash.iter_blocks()
+            ),
+            key=lambda pair: pair[0],
+            reverse=True,
+        )
+        position = 0
+        total = len(scored)
+        for level in range(levels, -1, -1):
+            placed: List[Block] = []
+            while position < total and len(placed) < z and scored[position][0] >= level:
+                placed.append(scored[position][1])
+                position += 1
+            self.tree.write_bucket(level, leaf, placed)
+            for block in placed:
+                self.stash.pop(block.addr)
+            if position >= total:
+                # Remaining buckets on the path stay empty (all-dummy).
+                for rest in range(level - 1, -1, -1):
+                    self.tree.write_bucket(rest, leaf, [])
+                break
+
+    # ------------------------------------------------------------- invariants
+    def check_invariants(self) -> None:
+        """Verify the path invariant, block conservation, and bucket sizes.
+
+        Used by tests and debug builds only: this walks the whole tree.
+
+        Raises:
+            AssertionError: if any invariant is violated.
+        """
+        seen: Dict[int, str] = {}
+        z = self.config.bucket_size
+        for index in range(self.tree.num_buckets):
+            bucket = self.tree.bucket(index)
+            assert len(bucket) <= z, f"bucket {index} holds {len(bucket)} > Z={z}"
+            for block in bucket:
+                assert block.addr not in seen, f"block {block.addr} duplicated"
+                seen[block.addr] = "tree"
+                mapped = self.position_map.leaf(block.addr)
+                assert block.leaf == mapped, (
+                    f"block {block.addr}: tree copy leaf {block.leaf} != posmap {mapped}"
+                )
+                # The bucket must lie on the path of the mapped leaf.
+                level = (index + 1).bit_length() - 1
+                expected = self.tree.bucket_index(level, mapped)
+                assert expected == index, (
+                    f"block {block.addr} (leaf {mapped}) found off-path at bucket {index}"
+                )
+        for addr, block in self.stash.items():
+            assert addr not in seen, f"block {addr} in both tree and stash"
+            seen[addr] = "stash"
+            assert block.leaf == self.position_map.leaf(addr)
+        assert len(seen) == self.position_map.num_blocks, (
+            f"{self.position_map.num_blocks - len(seen)} blocks lost"
+        )
+
+    # --------------------------------------------------------------- queries
+    def locate(self, addr: int) -> str:
+        """Return 'tree' or 'stash' for a block (tests/debugging).
+
+        Linear scan -- never used on the simulation hot path.
+        """
+        if addr in self.stash:
+            return "stash"
+        if self.tree.find(addr):
+            return "tree"
+        raise KeyError(f"block {addr} not found anywhere")

@@ -1,0 +1,109 @@
+"""Recursive / Unified ORAM accounting (paper sections 2.3 and 2.6).
+
+In practice the position map is too large to keep on-chip, so it is stored
+in further ORAMs: the data ORAM's position map lives in PosMap ORAM 1,
+whose position map lives in PosMap ORAM 2, and so on; with
+``num_hierarchies = 4`` (Table 1) the final, tiny position map is on-chip.
+
+The baseline the paper uses is *Unified ORAM* (Fletcher et al., ASPLOS'15):
+data and PosMap blocks share one binary tree, and an on-chip cache of
+PosMap blocks (a "PosMap Lookaside Buffer") exploits the locality of
+position-map accesses the way a TLB exploits page-table locality.  An
+access that finds its PosMap block cached costs a single path access; each
+consecutive miss walking up the hierarchy costs one more path access in the
+same tree.
+
+This module models exactly that quantity -- how many *path accesses* a
+request needs -- without physically storing PosMap blocks in the functional
+tree (their stash interaction is second-order; the paper's performance
+effects come from the access count and latency, which we reproduce).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from repro.utils.bitops import log2_exact
+
+
+class PosMapHierarchy:
+    """On-chip PosMap block cache plus hierarchy walk accounting.
+
+    Args:
+        num_hierarchies: total ORAM hierarchies including the data ORAM
+            (Table 1: 4, i.e. three PosMap levels behind the data tree).
+        entries_per_block: position map entries per PosMap block (32).
+        cache_entries: capacity of the on-chip PosMap block cache.
+    """
+
+    def __init__(self, num_hierarchies: int, entries_per_block: int, cache_entries: int):
+        if num_hierarchies < 1:
+            raise ValueError("need at least the data ORAM hierarchy")
+        self.num_hierarchies = num_hierarchies
+        self.entries_per_block = entries_per_block
+        self._shift = log2_exact(entries_per_block)
+        self.cache_entries = cache_entries
+        self._cache: "OrderedDict[tuple, None]" = OrderedDict()
+        # Statistics
+        self.lookups = 0
+        self.posmap_block_accesses = 0
+        self.cache_hits = 0
+
+    def posmap_block_ids(self, addr: int) -> List[tuple]:
+        """(hierarchy, block id) keys for the PosMap blocks covering ``addr``.
+
+        Entry 0 is the level-1 PosMap block (the one holding the data
+        block's leaf), entry 1 the level-2 block, and so on.
+        """
+        ids = []
+        block_id = addr
+        for hierarchy in range(1, self.num_hierarchies):
+            block_id >>= self._shift
+            ids.append((hierarchy, block_id))
+        return ids
+
+    def lookup(self, addr: int) -> int:
+        """Walk the hierarchy for one request; return *extra* path accesses.
+
+        Returns 0 when the level-1 PosMap block is cached; otherwise the
+        number of consecutive uncached levels starting from level 1 (at most
+        ``num_hierarchies - 1``; the final position map is always on-chip).
+        All PosMap blocks touched by the walk become cached.
+        """
+        self.lookups += 1
+        keys = self.posmap_block_ids(addr)
+        extra = 0
+        for key in keys:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                break
+            extra += 1
+        # Install every block on the walk (they were all brought on-chip).
+        for key in keys[:extra]:
+            self._insert(key)
+        self.posmap_block_accesses += extra
+        return extra
+
+    def _insert(self, key: tuple) -> None:
+        if self.cache_entries <= 0:
+            return  # cache disabled: plain recursive ORAM, every walk full
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            return
+        self._cache[key] = None
+        while len(self._cache) > self.cache_entries:
+            self._cache.popitem(last=False)
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups whose level-1 PosMap block was cached."""
+        if self.lookups == 0:
+            return 0.0
+        return self.cache_hits / self.lookups
+
+    def average_extra_accesses(self) -> float:
+        """Mean extra path accesses per request so far."""
+        if self.lookups == 0:
+            return 0.0
+        return self.posmap_block_accesses / self.lookups

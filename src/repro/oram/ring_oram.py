@@ -1,0 +1,253 @@
+"""Ring ORAM -- the bandwidth-optimized tree ORAM (Ren et al., 2015).
+
+Ring ORAM is the natural stress test for the paper's section 6.1 claim
+("all ORAM schemes should be able to take advantage of super blocks"):
+unlike Path ORAM it does *not* read whole paths on every access, so super
+blocks interact with its machinery non-trivially.
+
+The construction, functionally:
+
+* each bucket holds up to ``Z`` real blocks and ``S`` dummy slots, with a
+  per-bucket access budget;
+* **ReadPath** touches exactly one slot per bucket on the accessed path --
+  the addressed block where it lives, a fresh dummy everywhere else -- so
+  an access moves ``L+1`` blocks instead of Path ORAM's ``(L+1) * Z * 2``;
+* every ``A`` accesses an **EvictPath** reads and rewrites one full path,
+  chosen in reverse-lexicographic order (deterministic, public);
+* a bucket whose budget is exhausted before its next eviction gets an
+  **EarlyReshuffle** (read + rewrite of that bucket).
+
+The Path ORAM invariant is unchanged -- every block lives on the path of
+its mapped leaf or in the stash -- which is exactly why super blocks carry
+over: members share a leaf, and one ReadPath can collect them all (paying
+an extra touch only when two members share a bucket).
+
+Bandwidth is the whole point of Ring ORAM, so the class meters
+``blocks_transferred`` for every operation; the generalization benchmark
+compares amortized blocks/access against Path ORAM, with and without
+pairing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.oram.block import Block
+from repro.utils.bitops import common_prefix_length
+from repro.utils.rng import DeterministicRng
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Bit-reversal (the reverse-lexicographic eviction order)."""
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+class _RingBucket:
+    """A bucket with Z real slots, S dummy slots, and an access budget."""
+
+    __slots__ = ("blocks", "accesses")
+
+    def __init__(self):
+        self.blocks: List[Block] = []
+        self.accesses = 0
+
+
+class RingORAM:
+    """Functional Ring ORAM with super block support.
+
+    Args:
+        levels: tree depth ``L``.
+        num_blocks: logical address space.
+        z: real slots per bucket (Ring ORAM favours larger Z than Path
+            ORAM; 8 is a reasonable small-scale setting).
+        s: dummy slots per bucket (the per-bucket access budget).
+        a: accesses between EvictPath operations.
+        rng: deterministic randomness.
+        observer: optional adversary observer (accessed leaves).
+    """
+
+    def __init__(
+        self,
+        levels: int,
+        num_blocks: int,
+        z: int = 8,
+        s: int = 12,
+        a: int = 8,
+        rng: Optional[DeterministicRng] = None,
+        observer=None,
+    ):
+        if levels < 1 or num_blocks < 1:
+            raise ValueError("need at least one level and one block")
+        if s < a:
+            raise ValueError("dummy budget S must cover the eviction period A")
+        self.levels = levels
+        self.num_leaves = 1 << levels
+        self.num_buckets = (1 << (levels + 1)) - 1
+        self.z = z
+        self.s = s
+        self.a = a
+        self.rng = rng or DeterministicRng(31)
+        self.observer = observer
+        self.num_blocks = num_blocks
+        self._buckets = [_RingBucket() for _ in range(self.num_buckets)]
+        self._leaves = [self.rng.random_leaf(self.num_leaves) for _ in range(num_blocks)]
+        self.stash: Dict[int, Block] = {}
+        # Statistics
+        self.accesses = 0
+        self.evict_paths = 0
+        self.early_reshuffles = 0
+        self.blocks_transferred = 0
+        self._evict_counter = 0
+        self._populate()
+
+    # ------------------------------------------------------------- plumbing
+    def _bucket_index(self, level: int, leaf: int) -> int:
+        return (1 << level) - 1 + (leaf >> (self.levels - level))
+
+    def _path_indices(self, leaf: int) -> List[int]:
+        return [self._bucket_index(level, leaf) for level in range(self.levels + 1)]
+
+    def _populate(self) -> None:
+        for addr in range(self.num_blocks):
+            block = Block(addr, self._leaves[addr])
+            placed = False
+            for level in range(self.levels, -1, -1):
+                bucket = self._buckets[self._bucket_index(level, block.leaf)]
+                if len(bucket.blocks) < self.z:
+                    bucket.blocks.append(block)
+                    placed = True
+                    break
+            if not placed:
+                self.stash[addr] = block
+
+    def leaf_of(self, addr: int) -> int:
+        return self._leaves[addr]
+
+    # ----------------------------------------------------------------- access
+    def access(self, addrs: Sequence[int], new_leaf: Optional[int] = None) -> Dict[int, Block]:
+        """ReadPath for a (super) block, then the periodic maintenance.
+
+        All of ``addrs`` must share a leaf.  One slot is touched per bucket
+        on the path (an extra touch per additional member co-located in the
+        same bucket); members are remapped together to a fresh leaf and
+        parked in the stash until an EvictPath writes them back.
+        """
+        if not addrs:
+            raise ValueError("access needs at least one address")
+        leaf = self._leaves[addrs[0]]
+        for addr in addrs[1:]:
+            if self._leaves[addr] != leaf:
+                raise ValueError("super block members must share a leaf")
+        self.accesses += 1
+        if self.observer is not None:
+            self.observer.on_path_access(leaf, "real")
+        wanted = set(addrs)
+        found: Dict[int, Block] = {}
+        for index in self._path_indices(leaf):
+            bucket = self._buckets[index]
+            hits = [b for b in bucket.blocks if b.addr in wanted]
+            # One touch minimum (dummy if no member here); one per member
+            # beyond the first costs an extra touch of this bucket.
+            touches = max(1, len(hits))
+            bucket.accesses += touches
+            self.blocks_transferred += touches
+            for block in hits:
+                bucket.blocks.remove(block)
+                found[block.addr] = block
+        for addr in wanted - set(found):
+            if addr in self.stash:
+                found[addr] = self.stash.pop(addr)
+        missing = wanted - set(found)
+        if missing:
+            raise KeyError(f"blocks {sorted(missing)} not on their path")
+        assigned = new_leaf if new_leaf is not None else self.rng.random_leaf(self.num_leaves)
+        for addr in addrs:
+            block = found[addr]
+            block.leaf = assigned
+            self._leaves[addr] = assigned
+            self.stash[addr] = block
+        # Periodic maintenance.
+        self._evict_counter += 1
+        if self._evict_counter >= self.a:
+            self._evict_counter = 0
+            self._evict_path()
+        self._early_reshuffle(self._path_indices(leaf))
+        return found
+
+    # --------------------------------------------------------------- eviction
+    def _evict_path(self) -> None:
+        """Full read+write of the next reverse-lexicographic path."""
+        leaf = reverse_bits(self.evict_paths % self.num_leaves, self.levels)
+        self.evict_paths += 1
+        indices = self._path_indices(leaf)
+        # Read every real block on the path into the stash.
+        for index in indices:
+            bucket = self._buckets[index]
+            self.blocks_transferred += self.z + self.s  # full bucket read
+            for block in bucket.blocks:
+                self.stash[block.addr] = block
+            bucket.blocks = []
+            bucket.accesses = 0
+        # Greedy write-back, deepest first (as in Path ORAM).
+        scored = sorted(
+            ((common_prefix_length(b.leaf, leaf, self.levels), b) for b in self.stash.values()),
+            key=lambda pair: pair[0],
+            reverse=True,
+        )
+        position = 0
+        for level in range(self.levels, -1, -1):
+            bucket = self._buckets[self._bucket_index(level, leaf)]
+            placed: List[Block] = []
+            while position < len(scored) and len(placed) < self.z and scored[position][0] >= level:
+                placed.append(scored[position][1])
+                position += 1
+            bucket.blocks = placed
+            self.blocks_transferred += self.z + self.s  # full bucket write
+            for block in placed:
+                self.stash.pop(block.addr)
+
+    def _early_reshuffle(self, indices: Sequence[int]) -> None:
+        """Rewrite buckets whose dummy budget is exhausted."""
+        for index in indices:
+            bucket = self._buckets[index]
+            if bucket.accesses >= self.s:
+                self.early_reshuffles += 1
+                self.blocks_transferred += 2 * (self.z + self.s)
+                bucket.accesses = 0
+
+    # ------------------------------------------------------------ invariants
+    def check_invariants(self) -> None:
+        seen = set()
+        for index in range(self.num_buckets):
+            level = (index + 1).bit_length() - 1
+            bucket = self._buckets[index]
+            assert len(bucket.blocks) <= self.z, f"bucket {index} over Z"
+            for block in bucket.blocks:
+                assert block.addr not in seen, f"duplicate {block.addr}"
+                seen.add(block.addr)
+                expected = self._bucket_index(level, self._leaves[block.addr])
+                assert expected == index, f"block {block.addr} off-path"
+        for addr in self.stash:
+            assert addr not in seen
+            seen.add(addr)
+        assert len(seen) == self.num_blocks, "blocks lost"
+
+    # -------------------------------------------------------------- analysis
+    def blocks_per_access(self) -> float:
+        """Amortized blocks moved per logical access (Ring's headline metric)."""
+        return self.blocks_transferred / self.accesses if self.accesses else 0.0
+
+
+def merge_pairs(oram: RingORAM, sbsize: int = 2) -> None:
+    """Statically pair aligned groups (the super block invariant) on Ring ORAM."""
+    for base in range(0, oram.num_blocks - 1, sbsize):
+        members = list(range(base, min(base + sbsize, oram.num_blocks)))
+        if len(members) < 2:
+            continue
+        target = oram.rng.random_leaf(oram.num_leaves)
+        for addr in members:
+            oram.access([addr], new_leaf=target)

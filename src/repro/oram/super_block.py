@@ -1,0 +1,251 @@
+"""Super block schemes (paper section 3).
+
+A *super block* is a group of ``2**k`` blocks, adjacent and aligned in the
+program address space, that are all mapped to the same path so a single
+ORAM access fetches them together (Figure 3).  This module defines:
+
+* :class:`SuperBlockScheme` -- the strategy interface the ORAM memory
+  backend drives (which members to collect, what to do after a fetch);
+* :class:`BaselineScheme` -- no super blocks (the paper's ``oram`` bar);
+* :class:`StaticSuperBlockScheme` -- the prior-work static scheme
+  (section 3.3): merge every aligned group of ``n`` at initialization,
+  never adapt;
+* :class:`PrefetchTracker` -- shared prefetch-bit / hit-bit bookkeeping and
+  prefetch hit/miss statistics used by both the static and dynamic schemes.
+
+The dynamic scheme (PrORAM itself) lives in :mod:`repro.core.dynamic`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.oram.block import Block
+from repro.oram.path_oram import PathORAM
+from repro.utils.bitops import group_base
+
+
+@dataclass
+class SchemeStats:
+    """Counters exposed by every scheme (feed Figures 8 and 9)."""
+
+    merges: int = 0
+    breaks: int = 0
+    prefetched_blocks: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+
+    @property
+    def prefetch_miss_rate(self) -> float:
+        """Misses over resolved prefetches (the Figure 9 metric)."""
+        resolved = self.prefetch_hits + self.prefetch_misses
+        if resolved == 0:
+            return 0.0
+        return self.prefetch_misses / resolved
+
+    @property
+    def prefetch_hit_rate(self) -> float:
+        resolved = self.prefetch_hits + self.prefetch_misses
+        if resolved == 0:
+            return 0.0
+        return self.prefetch_hits / resolved
+
+
+@dataclass
+class FetchOutcome:
+    """What the scheme decided after one ORAM fetch.
+
+    Attributes:
+        to_llc: (addr, prefetched) pairs whose copies enter the LLC; the
+            demand block is always present with ``prefetched=False``.
+            Members the scheme leaves out (the written-back half of a broken
+            super block) simply stay in the ORAM.
+    """
+
+    to_llc: List[Tuple[int, bool]] = field(default_factory=list)
+
+
+class PrefetchTracker:
+    """Prefetch-bit (position map) and hit-bit (block-side) bookkeeping.
+
+    Implements the accounting of section 4.3: a block inserted into the LLC
+    as a prefetch gets ``prefetch=1, hit=0``; its first use sets ``hit``;
+    leaving the LLC unused is deemed a prefetch miss.  The bits themselves
+    persist across eviction (they are read again by the break algorithm the
+    next time the super block is loaded); the *statistics* count each
+    prefetched LLC residency exactly once, as a hit on first use or a miss
+    on unused eviction.
+    """
+
+    def __init__(self, oram: PathORAM, stats: SchemeStats, listener=None):
+        self._posmap = oram.position_map
+        self._hit_bits = bytearray(self._posmap.num_blocks)
+        self.stats = stats
+        #: optional adaptive-threshold policy notified of hit/miss events
+        self.listener = listener
+
+    def hit_bit(self, addr: int) -> int:
+        return self._hit_bits[addr]
+
+    def mark_prefetched(self, addr: int) -> None:
+        """Block enters the LLC as a prefetch (Algorithm 2 else-branch)."""
+        self._posmap.set_prefetch_bit(addr, 1)
+        self._hit_bits[addr] = 0
+        self.stats.prefetched_blocks += 1
+
+    def on_use(self, addr: int) -> None:
+        """LLC hit on the block: first use of a pending prefetch is a hit."""
+        if self._posmap.prefetch_bit(addr) and not self._hit_bits[addr]:
+            self._hit_bits[addr] = 1
+            self.stats.prefetch_hits += 1
+            if self.listener is not None:
+                self.listener.on_prefetch_hit()
+
+    def on_llc_evict(self, addr: int) -> None:
+        """Block leaves the LLC; an unused pending prefetch is a miss."""
+        if self._posmap.prefetch_bit(addr) and not self._hit_bits[addr]:
+            self.stats.prefetch_misses += 1
+            if self.listener is not None:
+                self.listener.on_prefetch_miss()
+
+    def consume_bits(self, addr: int) -> Tuple[int, int]:
+        """Read-and-clear for Algorithm 2 (block arriving from the ORAM).
+
+        Returns the (prefetch, hit) pair the break counter update uses and
+        clears the prefetch bit ("b.prefetch = false").
+        """
+        prefetch = self._posmap.prefetch_bit(addr)
+        hit = self._hit_bits[addr]
+        self._posmap.set_prefetch_bit(addr, 0)
+        return prefetch, hit
+
+
+class SuperBlockScheme(ABC):
+    """Strategy driven by the ORAM memory backend.
+
+    Lifecycle: construct, :meth:`attach` to a (not yet populated) ORAM plus
+    an LLC tag-probe callback, :meth:`initialize` (may rewrite the position
+    map), then the backend populates the ORAM and starts calling
+    :meth:`members_for` / :meth:`process_fetch` per miss and
+    :meth:`on_llc_hit` / :meth:`on_llc_evict` per cache event.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = SchemeStats()
+        self._oram: Optional[PathORAM] = None
+        self._llc_contains: Callable[[int], bool] = lambda addr: False
+        self._tracker: Optional[PrefetchTracker] = None
+
+    def attach(self, oram: PathORAM, llc_contains: Callable[[int], bool]) -> None:
+        self._oram = oram
+        self._llc_contains = llc_contains
+        self._tracker = PrefetchTracker(oram, self.stats, listener=self.threshold_listener())
+
+    def threshold_listener(self):
+        """Adaptive-threshold policy to notify of prefetch events (or None)."""
+        return None
+
+    def initialize(self) -> None:
+        """Adjust the position map before the ORAM is populated (default: no-op)."""
+
+    @abstractmethod
+    def members_for(self, addr: int) -> List[int]:
+        """Basic-block addresses fetched together when ``addr`` misses."""
+
+    @abstractmethod
+    def process_fetch(
+        self, demand: int, members: List[int], fetched: Dict[int, Block]
+    ) -> FetchOutcome:
+        """Post-fetch decisions (prefetch marking, merge/break).
+
+        Args:
+            demand: the missed address that triggered the access.
+            members: every basic block of the accessed super block.
+            fetched: the members "coming from ORAM" -- those whose copies
+                were not already resident in the LLC (Algorithm 2 only
+                evaluates these).
+        """
+
+    def on_llc_hit(self, addr: int) -> None:
+        """Processor used the block in the LLC ("when block b is accessed: b.hit = true")."""
+        if self._tracker is not None:
+            self._tracker.on_use(addr)
+
+    def on_llc_evict(self, addr: int) -> None:
+        if self._tracker is not None:
+            self._tracker.on_llc_evict(addr)
+
+    # --------------------------------------------------------------- helpers
+    @property
+    def oram(self) -> PathORAM:
+        assert self._oram is not None, "scheme not attached"
+        return self._oram
+
+    @property
+    def tracker(self) -> PrefetchTracker:
+        assert self._tracker is not None, "scheme not attached"
+        return self._tracker
+
+    def _clip_group(self, base: int, size: int) -> List[int]:
+        """Members of the aligned group, clipped to the address space."""
+        top = min(base + size, self.oram.position_map.num_blocks)
+        return list(range(base, top))
+
+
+class BaselineScheme(SuperBlockScheme):
+    """Plain Path ORAM: every access fetches exactly the demand block."""
+
+    name = "oram"
+
+    def members_for(self, addr: int) -> List[int]:
+        return [addr]
+
+    def process_fetch(
+        self, demand: int, members: List[int], fetched: Dict[int, Block]
+    ) -> FetchOutcome:
+        return FetchOutcome(to_llc=[(demand, False)])
+
+
+class StaticSuperBlockScheme(SuperBlockScheme):
+    """The prior-work static scheme (section 3.3).
+
+    Every aligned group of ``sbsize`` blocks is merged at initialization
+    (before the tree is populated); groups are accessed and remapped as a
+    unit forever.  No runtime adaptation: with poor spatial locality the
+    prefetches miss, pollute the cache, and inflate background evictions --
+    the limitation PrORAM fixes.
+    """
+
+    name = "stat"
+
+    def __init__(self, sbsize: int):
+        super().__init__()
+        if sbsize < 1 or (sbsize & (sbsize - 1)) != 0:
+            raise ValueError("static super block size must be a power of two >= 1")
+        self.sbsize = sbsize
+
+    def initialize(self) -> None:
+        posmap = self.oram.position_map
+        for base in range(0, posmap.num_blocks, self.sbsize):
+            members = self._clip_group(base, self.sbsize)
+            posmap.remap(members)
+
+    def members_for(self, addr: int) -> List[int]:
+        return self._clip_group(group_base(addr, self.sbsize), self.sbsize)
+
+    def process_fetch(
+        self, demand: int, members: List[int], fetched: Dict[int, Block]
+    ) -> FetchOutcome:
+        outcome = FetchOutcome()
+        for addr in fetched:
+            if addr == demand:
+                outcome.to_llc.append((addr, False))
+            else:
+                self.tracker.consume_bits(addr)  # refresh any stale pending bit
+                self.tracker.mark_prefetched(addr)
+                outcome.to_llc.append((addr, True))
+        return outcome

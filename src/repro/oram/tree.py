@@ -1,0 +1,88 @@
+"""The Path ORAM binary tree (paper section 2.2, Figure 1).
+
+The tree is stored heap-style in a flat list of buckets.  Level 0 is the
+root; level ``L`` holds the ``2**L`` leaves.  Each bucket holds up to ``Z``
+real blocks; slots not occupied by real blocks are implicitly dummy blocks
+(the adversary-visible serialization in :mod:`repro.oram.crypto` pads every
+bucket to ``Z`` ciphertexts so real and dummy blocks are indistinguishable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.oram.block import Block
+
+
+class BinaryTree:
+    """Bucketed binary tree with arithmetic path indexing.
+
+    The bucket at level ``l`` on the path to leaf ``s`` has heap index
+    ``(1 << l) - 1 + (s >> (levels - l))``: the high ``l`` bits of the leaf
+    label select the node within the level.
+    """
+
+    def __init__(self, levels: int, bucket_size: int):
+        if levels < 1:
+            raise ValueError("tree must have at least 1 level below the root")
+        if bucket_size < 1:
+            raise ValueError("bucket size must be >= 1")
+        self.levels = levels
+        self.bucket_size = bucket_size
+        self.num_leaves = 1 << levels
+        self.num_buckets = (1 << (levels + 1)) - 1
+        self._buckets: List[List[Block]] = [[] for _ in range(self.num_buckets)]
+
+    def bucket_index(self, level: int, leaf: int) -> int:
+        """Heap index of the bucket at ``level`` on the path to ``leaf``."""
+        return (1 << level) - 1 + (leaf >> (self.levels - level))
+
+    def path_indices(self, leaf: int) -> List[int]:
+        """Heap indices of the root-to-leaf path, root first."""
+        if not 0 <= leaf < self.num_leaves:
+            raise ValueError(f"leaf {leaf} out of range [0, {self.num_leaves})")
+        return [self.bucket_index(level, leaf) for level in range(self.levels + 1)]
+
+    def bucket(self, index: int) -> List[Block]:
+        """The (mutable) list of real blocks in bucket ``index``."""
+        return self._buckets[index]
+
+    def read_path(self, leaf: int) -> List[Block]:
+        """Remove and return every real block on the path to ``leaf``.
+
+        This is step 2 of the access protocol: all buckets on the path are
+        read and their real blocks are handed to the caller (who puts them
+        in the stash).  The buckets are left empty.
+        """
+        blocks: List[Block] = []
+        for index in self.path_indices(leaf):
+            bucket = self._buckets[index]
+            if bucket:
+                blocks.extend(bucket)
+                self._buckets[index] = []
+        return blocks
+
+    def write_bucket(self, level: int, leaf: int, blocks: List[Block]) -> None:
+        """Install ``blocks`` as the content of the bucket at (level, leaf)."""
+        if len(blocks) > self.bucket_size:
+            raise ValueError(
+                f"bucket overflow: {len(blocks)} blocks into a Z={self.bucket_size} bucket"
+            )
+        self._buckets[self.bucket_index(level, leaf)] = blocks
+
+    def occupancy(self) -> int:
+        """Total number of real blocks currently stored in the tree."""
+        return sum(len(bucket) for bucket in self._buckets)
+
+    def iter_blocks(self) -> Iterator[Block]:
+        """Iterate over every real block in the tree (for invariant checks)."""
+        for bucket in self._buckets:
+            yield from bucket
+
+    def find(self, addr: int) -> bool:
+        """Whether a block with the given address exists anywhere in the tree.
+
+        Linear scan -- used only by tests and invariant checkers, never on
+        the simulation hot path.
+        """
+        return any(block.addr == addr for block in self.iter_blocks())

@@ -1,0 +1,206 @@
+"""The Shi et al. binary-tree ORAM -- the paper's generalization target.
+
+Section 6.1: "other ORAM schemes (e.g., [27]) have similar binary tree
+structure to Path ORAM.  After adding background eviction, these ORAM
+schemes can also benefit from using super blocks.  In general, all ORAM
+schemes should be able to take advantage of super blocks as long as they
+have support for background eviction."
+
+[27] is Shi, Chan, Stefanov, Li (Asiacrypt 2011): blocks live on the path
+to their mapped leaf (the same invariant as Path ORAM), but an access
+writes the fetched block back to the *root* bucket, and a separate
+randomized **eviction** process percolates blocks down -- at every access,
+a few random buckets per level each push one block toward the correct
+child.
+
+This module implements that ORAM functionally, with optional super block
+groups (members share a leaf, are fetched by one path read, and are
+re-inserted at the root together), demonstrating the paper's claim on a
+second substrate.  A dedicated benchmark measures the bucket-touch
+reduction super blocks buy here, mirroring the Path ORAM result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.oram.block import Block
+from repro.oram.tree import BinaryTree
+from repro.utils.bitops import is_power_of_two
+from repro.utils.rng import DeterministicRng
+
+
+class ShiTreeORAM:
+    """Functional binary-tree ORAM with root insertion and random eviction.
+
+    Args:
+        levels: tree depth ``L`` (2**levels leaves).
+        bucket_size: blocks per bucket.  Shi et al. size buckets
+            O(log N); the default follows that guidance.
+        num_blocks: logical address space size.
+        evictions_per_level: buckets randomly evicted per level per access
+            (the scheme's ``nu``; 2 in the original paper).
+        rng: deterministic randomness.
+        observer: optional adversary observer (records the accessed leaf).
+    """
+
+    def __init__(
+        self,
+        levels: int,
+        num_blocks: int,
+        bucket_size: Optional[int] = None,
+        evictions_per_level: int = 2,
+        rng: Optional[DeterministicRng] = None,
+        observer=None,
+    ):
+        if levels < 1:
+            raise ValueError("need at least one level")
+        if num_blocks < 1:
+            raise ValueError("need at least one block")
+        self.levels = levels
+        self.bucket_size = bucket_size if bucket_size is not None else max(4, levels + 1)
+        self.tree = BinaryTree(levels, self.bucket_size)
+        self.num_blocks = num_blocks
+        self.evictions_per_level = evictions_per_level
+        self.rng = rng or DeterministicRng(17)
+        self.observer = observer
+        self._leaves: List[int] = [
+            self.rng.random_leaf(self.tree.num_leaves) for _ in range(num_blocks)
+        ]
+        #: overflow area for blocks that find no room (counted, bounded)
+        self.overflow: Dict[int, Block] = {}
+        # Statistics
+        self.accesses = 0
+        self.bucket_touches = 0
+        self.evicted_blocks = 0
+        # Populate: every block starts at the leaf bucket of its leaf (or
+        # the closest ancestor with room).
+        for addr in range(num_blocks):
+            self._place(Block(addr, self._leaves[addr]))
+
+    # ------------------------------------------------------------- plumbing
+    def _place(self, block: Block) -> None:
+        for level in range(self.levels, -1, -1):
+            bucket = self.tree.bucket(self.tree.bucket_index(level, block.leaf))
+            if len(bucket) < self.bucket_size:
+                bucket.append(block)
+                return
+        self.overflow[block.addr] = block
+
+    def leaf_of(self, addr: int) -> int:
+        return self._leaves[addr]
+
+    # ---------------------------------------------------------------- access
+    def access(self, addrs: Sequence[int], new_leaf: Optional[int] = None) -> Dict[int, Block]:
+        """Fetch a (super) block: one path read + root re-insertion.
+
+        All of ``addrs`` must share a leaf.  The path is scanned bucket by
+        bucket (each scanned bucket is a memory touch), the members are
+        removed, remapped to one fresh random leaf, and appended to the
+        root; then the eviction process runs.
+        """
+        if not addrs:
+            raise ValueError("access needs at least one address")
+        leaf = self._leaves[addrs[0]]
+        for addr in addrs[1:]:
+            if self._leaves[addr] != leaf:
+                raise ValueError("super block members must share a leaf")
+        self.accesses += 1
+        if self.observer is not None:
+            self.observer.on_path_access(leaf, "real")
+        wanted = set(addrs)
+        found: Dict[int, Block] = {}
+        for index in self.tree.path_indices(leaf):
+            self.bucket_touches += 1
+            bucket = self.tree.bucket(index)
+            keep = []
+            for block in bucket:
+                if block.addr in wanted:
+                    found[block.addr] = block
+                else:
+                    keep.append(block)
+            self.tree._buckets[index] = keep
+        for addr in list(wanted):
+            if addr in self.overflow:
+                found[addr] = self.overflow.pop(addr)
+        missing = wanted - set(found)
+        if missing:
+            raise KeyError(f"blocks {sorted(missing)} not found on their path")
+        # Remap the whole group and re-insert at the root.
+        assigned = new_leaf if new_leaf is not None else self.rng.random_leaf(self.tree.num_leaves)
+        root = self.tree.bucket(0)
+        for addr in addrs:
+            block = found[addr]
+            block.leaf = assigned
+            self._leaves[addr] = assigned
+            if len(root) < self.bucket_size:
+                root.append(block)
+            else:
+                self.overflow[addr] = block
+        self._evict()
+        return found
+
+    # -------------------------------------------------------------- eviction
+    def _evict(self) -> None:
+        """Shi et al.'s randomized eviction: per level, pop blocks downward."""
+        for level in range(self.levels):
+            width = 1 << level
+            for _ in range(min(self.evictions_per_level, width)):
+                node = self.rng.randint(0, width - 1)
+                index = (1 << level) - 1 + node
+                bucket = self.tree.bucket(index)
+                self.bucket_touches += 3  # parent + both children (oblivious)
+                if not bucket:
+                    continue
+                block = bucket.pop(0)
+                # The child on the block's path receives it.
+                child_level = level + 1
+                child_index = self.tree.bucket_index(child_level, block.leaf)
+                child = self.tree.bucket(child_index)
+                if len(child) < self.bucket_size:
+                    child.append(block)
+                    self.evicted_blocks += 1
+                else:
+                    bucket.append(block)  # no room: stays put this round
+        # Drain overflow opportunistically through the root.
+        root = self.tree.bucket(0)
+        while self.overflow and len(root) < self.bucket_size:
+            _, block = self.overflow.popitem()
+            root.append(block)
+
+    # ------------------------------------------------------------ invariants
+    def check_invariants(self) -> None:
+        """Every block sits on the path of its mapped leaf (or overflow)."""
+        seen = set()
+        for index in range(self.tree.num_buckets):
+            level = (index + 1).bit_length() - 1
+            for block in self.tree.bucket(index):
+                assert block.addr not in seen, f"duplicate block {block.addr}"
+                seen.add(block.addr)
+                expected = self.tree.bucket_index(level, self._leaves[block.addr])
+                assert expected == index, (
+                    f"block {block.addr} off its path at bucket {index}"
+                )
+        for addr in self.overflow:
+            assert addr not in seen
+            seen.add(addr)
+        assert len(seen) == self.num_blocks, "blocks lost"
+
+
+def merge_pairs(oram: ShiTreeORAM, sbsize: int = 2) -> None:
+    """Statically merge aligned groups (the super block invariant).
+
+    Physically relocates members onto their common leaf's path, exactly as
+    the static scheme's initialization does for Path ORAM.
+    """
+    if not is_power_of_two(sbsize):
+        raise ValueError("super block size must be a power of two")
+    for base in range(0, oram.num_blocks, sbsize):
+        members = list(range(base, min(base + sbsize, oram.num_blocks)))
+        if len(members) < 2:
+            continue
+        # Fetch each member individually (they may sit on different paths),
+        # then re-fetch the group under one leaf.
+        target = oram.rng.random_leaf(oram.tree.num_leaves)
+        for addr in members:
+            oram.access([addr], new_leaf=target)

@@ -1,0 +1,7 @@
+"""Traditional hardware prefetchers (the section 3.1 / 5.2 strawmen)."""
+
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+__all__ = ["MarkovPrefetcher", "StreamPrefetcher", "StridePrefetcher"]

@@ -1,0 +1,57 @@
+"""A Markov (correlation) prefetcher -- the strongest traditional strawman.
+
+Stream and stride prefetchers only capture regular address arithmetic; a
+Markov prefetcher (Joseph & Grunwald, ISCA'97) records which miss tends to
+*follow* which, and predicts successors of the current miss from that
+history -- it can follow pointer chains the others cannot.  The section
+5.2 conclusion still holds: on ORAM every prediction is a full blocking
+path access, so even the strongest traditional prefetcher buys little.
+
+The table maps a miss address to its most recent successors (first-order
+Markov chain with per-entry LRU of successors).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import PrefetchConfig
+
+
+@dataclass
+class MarkovPrefetcher:
+    """First-order miss-correlation predictor.
+
+    Attributes:
+        config: ``depth`` bounds successors predicted per miss;
+            ``num_streams`` is reused as the successor-list width.
+        table_entries: capacity of the correlation table (LRU-replaced).
+    """
+
+    config: PrefetchConfig
+    table_entries: int = 256
+    _table: "OrderedDict[int, List[int]]" = field(default_factory=OrderedDict)
+    _last_miss: Optional[int] = None
+    issued: int = 0
+
+    def on_demand_miss(self, addr: int) -> List[int]:
+        """Record the (previous -> current) transition; predict successors."""
+        if self._last_miss is not None and self._last_miss != addr:
+            successors = self._table.get(self._last_miss)
+            if successors is None:
+                if len(self._table) >= self.table_entries:
+                    self._table.popitem(last=False)
+                successors = []
+                self._table[self._last_miss] = successors
+            else:
+                self._table.move_to_end(self._last_miss)
+            if addr in successors:
+                successors.remove(addr)
+            successors.insert(0, addr)  # most recent first
+            del successors[self.config.num_streams:]
+        self._last_miss = addr
+        predictions = list(self._table.get(addr, ()))[: self.config.depth]
+        self.issued += len(predictions)
+        return predictions

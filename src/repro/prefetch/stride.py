@@ -1,0 +1,45 @@
+"""A stride prefetcher -- the extension the paper's section 6.2 points at.
+
+"Previous work in data prefetch allows data striding in the address space
+to be prefetched.  Merging striding blocks is also possible for the dynamic
+super block scheme.  Such exploration is left for future work."  The
+simulator ships this as an optional traditional prefetcher so the strided
+workloads can be studied; it detects a constant stride in the global miss
+stream and predicts the next ``depth`` strided blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import PrefetchConfig
+
+
+@dataclass
+class StridePrefetcher:
+    """Constant-stride detector over the demand-miss address stream."""
+
+    config: PrefetchConfig
+    _last_addr: Optional[int] = None
+    _stride: Optional[int] = None
+    _confidence: int = 0
+    issued: int = 0
+
+    def on_demand_miss(self, addr: int) -> List[int]:
+        """Train on a miss; return strided prefetch candidates (maybe [])."""
+        picks: List[int] = []
+        if self._last_addr is not None:
+            stride = addr - self._last_addr
+            if stride != 0 and stride == self._stride:
+                self._confidence += 1
+                if self._confidence >= self.config.train_threshold:
+                    picks = [
+                        addr + stride * (i + 1) for i in range(self.config.depth)
+                    ]
+                    self.issued += len(picks)
+            else:
+                self._stride = stride if stride != 0 else self._stride
+                self._confidence = 1 if stride != 0 else self._confidence
+        self._last_addr = addr
+        return picks

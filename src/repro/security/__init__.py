@@ -1,0 +1,15 @@
+"""Obliviousness validation: the adversary's view and statistical tests."""
+
+from repro.security.observer import AccessObserver
+from repro.security.statistics import (
+    chi_square_uniformity,
+    lag_autocorrelation,
+    sequences_indistinguishable,
+)
+
+__all__ = [
+    "AccessObserver",
+    "chi_square_uniformity",
+    "lag_autocorrelation",
+    "sequences_indistinguishable",
+]

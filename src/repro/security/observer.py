@@ -1,0 +1,45 @@
+"""The curious adversary's viewpoint (paper section 2.1).
+
+The adversary sees the *physical* access sequence: which path (leaf label)
+each ORAM access touches, and when.  It never sees program addresses, block
+contents (encrypted), or whether an access is real or dummy.  The observer
+records exactly that view so the statistical tests in
+:mod:`repro.security.statistics` can audit obliviousness and so timing
+experiments can inspect the access schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class ObservedAccess:
+    """One adversary-visible event: a path access at some index/time."""
+
+    leaf: int
+    #: recorded only for the *auditor's* ground-truth assertions; a real
+    #: adversary cannot distinguish kinds, and the statistical tests must
+    #: hold with kinds removed.
+    kind: str = "real"
+
+
+@dataclass
+class AccessObserver:
+    """Records the leaf label of every path access."""
+
+    accesses: List[ObservedAccess] = field(default_factory=list)
+
+    def on_path_access(self, leaf: int, kind: str = "real") -> None:
+        self.accesses.append(ObservedAccess(leaf, kind))
+
+    def leaves(self) -> List[int]:
+        """The raw leaf sequence (what the adversary actually has)."""
+        return [access.leaf for access in self.accesses]
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def clear(self) -> None:
+        self.accesses.clear()

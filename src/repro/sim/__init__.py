@@ -1,0 +1,7 @@
+"""Trace-driven secure-processor simulator (the Graphite stand-in, §5.1)."""
+
+from repro.sim.results import SimResult
+from repro.sim.system import SecureSystem
+from repro.sim.trace import Trace, TraceEntry
+
+__all__ = ["SecureSystem", "SimResult", "Trace", "TraceEntry"]

@@ -1,0 +1,309 @@
+"""The secure-processor system: in-order core + caches + memory backend.
+
+This is the reproduction's stand-in for the paper's Graphite setup
+(section 5.1, Table 1): a 1 GHz in-order core whose memory references come
+from a trace, a 32 KB L1, a 512 KB shared LLC, and either an insecure DRAM
+or a Path ORAM (baseline / static super block / PrORAM) behind it.  The
+core blocks on every LLC miss until the backend's completion cycle -- the
+paper's cores are in-order, so memory latency is fully exposed.
+
+Construction is by factory: :meth:`SecureSystem.build` maps a scheme name
+("dram", "oram", "stat", "dyn", and the prefetching/periodic variants used
+by specific figures) onto the right backend assembly, so benchmarks read
+exactly like the paper's legends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.config import SystemConfig
+from repro.core.dynamic import DynamicSuperBlockScheme
+from repro.core.thresholds import (
+    AdaptiveThresholdPolicy,
+    StaticThresholdPolicy,
+    ThresholdPolicy,
+)
+from repro.memory.backend import MemoryBackend
+from repro.memory.dram import DRAMBackend
+from repro.memory.oram_backend import ORAMBackend
+from repro.memory.periodic import PeriodicORAMBackend
+from repro.oram.super_block import BaselineScheme, StaticSuperBlockScheme, SuperBlockScheme
+from repro.prefetch.stream import StreamPrefetcher
+from repro.sim.results import SimResult
+from repro.sim.trace import Trace
+from repro.utils.rng import DeterministicRng
+
+
+class SecureSystem:
+    """One tile: core + L1 + LLC + memory backend."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        backend: MemoryBackend,
+        label: str,
+        prefetcher: Optional[StreamPrefetcher] = None,
+    ):
+        self.config = config
+        self.backend = backend
+        self.label = label
+        self.prefetcher = prefetcher
+        self.hierarchy = CacheHierarchy(
+            config.l1, config.llc, victim_callback=self._on_llc_victim
+        )
+        if isinstance(backend, ORAMBackend):
+            backend.set_llc_probe(self.hierarchy.contains)
+        self._now = 0
+        #: prefetched lines not yet usable: addr -> fill completion cycle
+        self._pending_fills = {}
+
+    # ----------------------------------------------------------------- build
+    @classmethod
+    def build(
+        cls,
+        scheme: str,
+        footprint_blocks: int,
+        config: Optional[SystemConfig] = None,
+        *,
+        policy: Optional[ThresholdPolicy] = None,
+        static_sbsize: Optional[int] = None,
+        observer=None,
+    ) -> "SecureSystem":
+        """Assemble a system for one of the paper's configurations.
+
+        Args:
+            scheme: one of
+
+                * ``dram`` -- insecure DRAM baseline;
+                * ``dram_pre`` -- DRAM + traditional stream prefetcher;
+                * ``oram`` -- baseline Path ORAM (unified recursion);
+                * ``oram_pre`` -- baseline ORAM + traditional prefetcher;
+                * ``stat`` -- static super block scheme;
+                * ``dyn`` -- PrORAM (dynamic super blocks), plus the
+                  Figure 6b variants ``dyn_{sm|am}_{nb|ab}``;
+                * any base scheme suffixed ``_spre`` -- stride prefetcher
+                  instead of the stream prefetcher (section 6.2);
+                * any of the ORAM variants suffixed ``_intvl`` -- wrapped
+                  in periodic accesses (Figure 15).
+            footprint_blocks: workload footprint; the functional tree is
+                scaled to hold it at the configured utilization.
+            config: system configuration (Table 1 defaults when omitted).
+            policy: threshold policy for ``dyn`` (default: adaptive, C=1).
+            static_sbsize: super block size for ``stat`` (default: the
+                configured max super block size).
+            observer: optional adversary observer for ORAM variants.
+        """
+        config = config or SystemConfig()
+        rng = DeterministicRng(config.seed)
+        periodic = scheme.endswith("_intvl")
+        base_scheme = scheme[: -len("_intvl")] if periodic else scheme
+        prefetcher = None
+        if base_scheme.endswith("_pre"):
+            base_scheme = base_scheme[: -len("_pre")]
+            prefetcher = StreamPrefetcher(replace(config.prefetch, enabled=True))
+        elif base_scheme.endswith("_spre"):
+            # Stride-prefetcher variant (the section 6.2 extension).
+            from repro.prefetch.stride import StridePrefetcher
+
+            base_scheme = base_scheme[: -len("_spre")]
+            prefetcher = StridePrefetcher(replace(config.prefetch, enabled=True))
+        elif base_scheme.endswith("_mpre"):
+            # Markov/correlation prefetcher variant.
+            from repro.prefetch.markov import MarkovPrefetcher
+
+            base_scheme = base_scheme[: -len("_mpre")]
+            prefetcher = MarkovPrefetcher(replace(config.prefetch, enabled=True))
+
+        if base_scheme == "dram":
+            if periodic:
+                raise ValueError("periodic accesses only apply to ORAM backends")
+            backend: MemoryBackend = DRAMBackend(config.dram, config.oram.block_bytes)
+            return cls(config, backend, label=scheme, prefetcher=prefetcher)
+
+        sb_scheme = cls._make_scheme(base_scheme, config, policy, static_sbsize)
+        oram_config = config.oram.scaled_to_footprint(footprint_blocks)
+        if periodic:
+            backend = PeriodicORAMBackend(
+                oram_config,
+                config.dram,
+                sb_scheme,
+                rng.fork(11),
+                config.timing_protection
+                if config.timing_protection.interval_cycles
+                else replace(config.timing_protection, interval_cycles=100),
+                observer=observer,
+            )
+        else:
+            backend = ORAMBackend(
+                oram_config, config.dram, sb_scheme, rng.fork(11), observer=observer
+            )
+        return cls(config, backend, label=scheme, prefetcher=prefetcher)
+
+    @staticmethod
+    def _make_scheme(
+        name: str,
+        config: SystemConfig,
+        policy: Optional[ThresholdPolicy],
+        static_sbsize: Optional[int],
+    ) -> SuperBlockScheme:
+        if name == "oram":
+            return BaselineScheme()
+        if name == "stat":
+            return StaticSuperBlockScheme(static_sbsize or config.oram.max_super_block_size)
+        if name == "dyn_strided":
+            # Future-work extension (section 6.2): strided pair merging.
+            from repro.core.strided import StridedDynamicScheme
+
+            return StridedDynamicScheme(policy=policy)
+        if name == "dyn" or name.startswith("dyn_"):
+            # Figure 6b variants: dyn_{sm|am}_{nb|ab} selects static/adaptive
+            # merge thresholding and no/adaptive breaking; bare "dyn" is the
+            # full PrORAM (adaptive merge + adaptive break).
+            break_enabled = True
+            if name in ("dyn", "dyn_am_ab"):
+                chosen = policy or AdaptiveThresholdPolicy()
+            elif name == "dyn_sm_nb":
+                chosen = policy or StaticThresholdPolicy()
+                break_enabled = False
+            elif name == "dyn_am_nb":
+                chosen = policy or AdaptiveThresholdPolicy()
+                break_enabled = False
+            elif name == "dyn_sm_ab":
+                chosen = policy or StaticThresholdPolicy()
+            else:
+                raise ValueError(f"unknown dynamic-scheme variant '{name}'")
+            return DynamicSuperBlockScheme(
+                max_sbsize=config.oram.max_super_block_size,
+                policy=chosen,
+                break_enabled=break_enabled,
+            )
+        raise ValueError(f"unknown scheme '{name}'")
+
+    # ------------------------------------------------------------------- run
+    def run(self, trace: Trace, warmup_entries: int = 0) -> SimResult:
+        """Replay a trace to completion and collect every statistic.
+
+        Args:
+            trace: the workload.
+            warmup_entries: leading entries simulated but excluded from the
+                reported counters and cycle count.  The paper's runs are
+                long enough that cache/ORAM warmup (and PrORAM's merge
+                training) is negligible; short traces approximate that by
+                measuring only the steady-state window.
+        """
+        hierarchy = self.hierarchy
+        backend = self.backend
+        prefetcher = self.prefetcher
+        l1_hits = 0
+        llc_hits = 0
+        misses = 0
+        now = self._now
+        warmup_snapshot = None
+        index = 0
+        for gap, addr, is_write in trace.entries:
+            if index == warmup_entries and warmup_entries > 0:
+                warmup_snapshot = self._collect(trace, now, l1_hits, llc_hits, misses, index)
+            index += 1
+            now += gap
+            outcome = hierarchy.access(addr, bool(is_write))
+            if outcome.level in ("l1", "llc"):
+                # A hit on a still-in-flight prefetched line waits for the
+                # fill to actually arrive (MSHR-hit semantics): prefetched
+                # data is not usable before its access completes.
+                pending = self._pending_fills.pop(addr, None)
+                if pending is not None and pending > now:
+                    now = pending
+                if outcome.level == "l1":
+                    l1_hits += 1
+                    now += outcome.latency
+                    continue
+                llc_hits += 1
+                now += outcome.latency
+                backend.on_llc_hit(addr)
+                continue
+            # ----- full miss: the in-order core stalls on the backend.
+            misses += 1
+            self._now = now  # visible to the victim callback
+            result = backend.demand_access(addr, now, bool(is_write))
+            for fill_addr, prefetched in result.filled:
+                if fill_addr == addr:
+                    hierarchy.fill_demand(fill_addr, bool(is_write))
+                else:
+                    hierarchy.fill_prefetch(fill_addr)
+            now = result.completion_cycle + self.config.l1.hit_latency
+            self._now = now
+            if prefetcher is not None:
+                # Prefetches never stall the core; they only occupy the
+                # backend (and their fills become usable at completion).
+                self._issue_prefetches(addr, now)
+        self._now = now
+        backend.finalize(now)
+        final = self._collect(trace, now, l1_hits, llc_hits, misses, len(trace.entries))
+        if warmup_snapshot is not None:
+            return SimResult.delta(final, warmup_snapshot)
+        return final
+
+    def _issue_prefetches(self, miss_addr: int, now: int) -> None:
+        """Feed the traditional prefetcher and issue its predictions."""
+        assert self.prefetcher is not None
+        for candidate in self.prefetcher.on_demand_miss(miss_addr):
+            if candidate < 0 or candidate >= self._address_limit():
+                continue
+            if self.hierarchy.contains(candidate):
+                continue
+            result = self.backend.prefetch_access(candidate, now)
+            if result is None:
+                continue
+            for fill_addr, _ in result.filled:
+                self.hierarchy.fill_prefetch(fill_addr)
+                self._pending_fills[fill_addr] = result.completion_cycle
+
+    def _address_limit(self) -> int:
+        if isinstance(self.backend, ORAMBackend):
+            return self.backend.oram.position_map.num_blocks
+        return 1 << 62
+
+    # --------------------------------------------------------------- plumbing
+    def _on_llc_victim(self, addr: int, dirty: bool) -> None:
+        self.backend.evict_line(addr, dirty, self._now)
+
+    def _collect(
+        self,
+        trace: Trace,
+        now: int,
+        l1_hits: int,
+        llc_hits: int,
+        misses: int,
+        entries_processed: int,
+    ) -> SimResult:
+        stats = self.backend.stats
+        result = SimResult(
+            workload=trace.name,
+            scheme=self.label,
+            cycles=now,
+            trace_entries=entries_processed,
+            l1_hits=l1_hits,
+            llc_hits=llc_hits,
+            llc_misses=misses,
+            demand_requests=stats.demand_requests,
+            prefetch_requests=stats.prefetch_requests,
+            write_accesses=stats.write_accesses,
+            memory_accesses=stats.memory_accesses,
+            dummy_accesses=stats.dummy_accesses,
+            posmap_accesses=stats.posmap_accesses,
+            busy_cycles=stats.busy_cycles,
+        )
+        if isinstance(self.backend, ORAMBackend):
+            backend = self.backend
+            result.stash_max_occupancy = backend.oram.stash.max_occupancy
+            result.posmap_cache_hit_rate = backend.posmap_hierarchy.hit_rate()
+            scheme_stats = backend.scheme.stats
+            result.merges = scheme_stats.merges
+            result.breaks = scheme_stats.breaks
+            result.prefetched_blocks = scheme_stats.prefetched_blocks
+            result.prefetch_hits = scheme_stats.prefetch_hits
+            result.prefetch_misses = scheme_stats.prefetch_misses
+        return result

@@ -1,0 +1,21 @@
+"""Shared low-level helpers: bit manipulation, deterministic RNG, validation."""
+
+from repro.utils.bitops import (
+    align_down,
+    common_prefix_length,
+    group_base,
+    is_power_of_two,
+    log2_exact,
+    neighbor_group_base,
+)
+from repro.utils.rng import DeterministicRng
+
+__all__ = [
+    "DeterministicRng",
+    "align_down",
+    "common_prefix_length",
+    "group_base",
+    "is_power_of_two",
+    "log2_exact",
+    "neighbor_group_base",
+]

@@ -1,0 +1,128 @@
+"""Deterministic random number generation.
+
+Every stochastic component of the simulator (leaf remapping, workload
+generation, the toy cipher) draws from a :class:`DeterministicRng` so that
+experiments are exactly reproducible from a seed.  The class is a thin,
+explicit wrapper around :class:`random.Random`; we avoid the module-level
+``random`` state entirely.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRng:
+    """Seeded random source with the handful of draws the simulator needs."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._random = random.Random(seed)
+
+    @property
+    def seed(self) -> int:
+        """Seed this generator was created with."""
+        return self._seed
+
+    def fork(self, salt: int) -> "DeterministicRng":
+        """Derive an independent child generator.
+
+        Components that should not perturb each other's random streams
+        (e.g. the workload generator vs. the ORAM's leaf remapper) each get
+        a fork with a distinct salt.
+        """
+        return DeterministicRng(hash((self._seed, salt)) & 0x7FFFFFFFFFFFFFFF)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        return self._random.randint(low, high)
+
+    def random_leaf(self, num_leaves: int) -> int:
+        """Uniform leaf label in [0, num_leaves)."""
+        return self._random.randrange(num_leaves)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(seq)
+
+    def shuffle(self, seq: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._random.shuffle(seq)
+
+    def geometric(self, mean: float) -> int:
+        """Geometric draw with the given mean (support {1, 2, ...}).
+
+        Used for sequential-run lengths in the workload generators.  A mean
+        of 1.0 (or smaller) always returns 1.
+        """
+        if mean <= 1.0:
+            return 1
+        # P(success) per trial so that E[X] = mean for X in {1, 2, ...}.
+        p = 1.0 / mean
+        u = self._random.random()
+        # Inverse CDF of the geometric distribution.
+        import math
+
+        return max(1, int(math.ceil(math.log(1.0 - u) / math.log(1.0 - p))))
+
+    def expovariate_int(self, mean: float) -> int:
+        """Exponential draw rounded to an int >= 0 (compute-gap cycles)."""
+        if mean <= 0.0:
+            return 0
+        return int(self._random.expovariate(1.0 / mean))
+
+    def zipf(self, n: int, theta: float, *, _cache={}) -> int:
+        """Zipfian draw over [0, n) with skew ``theta`` (YCSB-style).
+
+        theta = 0 is uniform; YCSB's default is 0.99.  Uses the standard
+        inverse-CDF construction over precomputed harmonic weights (cached
+        per (n, theta) since the DBMS generators draw millions of times).
+        """
+        key = (n, theta)
+        cdf = _cache.get(key)
+        if cdf is None:
+            weights = [1.0 / (i + 1) ** theta for i in range(n)]
+            total = sum(weights)
+            acc = 0.0
+            cdf = []
+            for w in weights:
+                acc += w / total
+                cdf.append(acc)
+            _cache[key] = cdf
+        import bisect
+
+        return bisect.bisect_left(cdf, self._random.random())
+
+    def getrandbits(self, bits: int) -> int:
+        """Uniform integer with the given number of random bits."""
+        return self._random.getrandbits(bits)
+
+    def sample(self, population: Sequence[T], k: int) -> list:
+        """Sample ``k`` distinct elements."""
+        return self._random.sample(population, k)
+
+    def permutation(self, n: int) -> list:
+        """Random permutation of range(n)."""
+        values = list(range(n))
+        self._random.shuffle(values)
+        return values
+
+    def state_snapshot(self) -> object:
+        """Opaque snapshot of internal state (for checkpoint/restore tests)."""
+        return self._random.getstate()
+
+    def state_restore(self, snapshot: object) -> None:
+        """Restore a snapshot taken with :meth:`state_snapshot`."""
+        self._random.setstate(snapshot)  # type: ignore[arg-type]
+
+
+def make_rng(seed: Optional[int]) -> DeterministicRng:
+    """Create a generator from an optional seed (None means seed 0)."""
+    return DeterministicRng(0 if seed is None else seed)

@@ -1,0 +1,46 @@
+"""Workload/trace generation.
+
+Because the paper's Graphite + Splash2/SPEC06/DBMS stack cannot run here,
+each benchmark is modelled as a calibrated synthetic trace (DESIGN.md
+section 1.3 substitution 2): a mixture of cyclic sequential scans and
+(optionally Zipfian) random accesses, parameterized by memory intensity,
+footprint, spatial locality, and write fraction -- the properties the
+paper's results actually depend on.
+"""
+
+from repro.workloads.base import MixtureWorkload, WorkloadProfile
+from repro.workloads.capture import (
+    TraceRecorder,
+    record_bfs,
+    record_binary_search,
+    record_matmul,
+    record_pointer_chase,
+)
+from repro.workloads.dbms import DBMS_PROFILES, tpcc_trace, ycsb_trace
+from repro.workloads.spec06 import SPEC06_PROFILES
+from repro.workloads.splash2 import SPLASH2_PROFILES
+from repro.workloads.synthetic import (
+    locality_mix_trace,
+    phase_change_trace,
+    sequential_trace,
+    uniform_random_trace,
+)
+
+__all__ = [
+    "DBMS_PROFILES",
+    "MixtureWorkload",
+    "SPEC06_PROFILES",
+    "SPLASH2_PROFILES",
+    "TraceRecorder",
+    "WorkloadProfile",
+    "locality_mix_trace",
+    "phase_change_trace",
+    "record_bfs",
+    "record_binary_search",
+    "record_matmul",
+    "record_pointer_chase",
+    "sequential_trace",
+    "tpcc_trace",
+    "uniform_random_trace",
+    "ycsb_trace",
+]

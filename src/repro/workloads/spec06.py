@@ -1,0 +1,57 @@
+"""SPEC CPU2006 benchmark stand-ins (Figure 8b's ten workloads).
+
+Calibration anchors from the paper:
+
+* Figure 8b orders h264 ... mcf by ascending baseline-ORAM overhead, with
+  omnet and mcf memory intensive;
+* the static scheme loses on sjeng, astar, omnet and mcf (poor spatial
+  locality -- pointer chasing and graph traversal);
+* the overall dynamic-scheme gain is modest (5.5%) because most of the
+  suite is compute bound relative to Splash2's kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import WorkloadProfile
+
+
+def _p(
+    name: str,
+    footprint: int,
+    gap: float,
+    seq: float,
+    run: float,
+    mem: bool,
+    write: float = 0.3,
+    theta: float = 0.0,
+) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name,
+        suite="spec06",
+        footprint_blocks=footprint,
+        gap_mean=gap,
+        seq_fraction=seq,
+        run_len_mean=run,
+        write_fraction=write,
+        zipf_theta=theta,
+        memory_intensive=mem,
+    )
+
+
+#: Figure 8b order: ascending baseline-ORAM overhead.
+SPEC06_PROFILES: List[WorkloadProfile] = [
+    _p("h264", footprint=3584, gap=900.0, seq=0.60, run=8.0, mem=False),
+    _p("hmmer", footprint=3584, gap=800.0, seq=0.55, run=6.0, mem=False),
+    _p("sjeng", footprint=6144, gap=1300.0, seq=0.08, run=2.0, mem=False, theta=0.5),
+    _p("perl", footprint=5120, gap=2000.0, seq=0.15, run=3.0, mem=False, theta=0.55),
+    _p("astar", footprint=8192, gap=1500.0, seq=0.10, run=2.0, mem=False, theta=0.4),
+    _p("gobmk", footprint=6144, gap=1100.0, seq=0.15, run=3.0, mem=False, theta=0.5),
+    _p("gcc", footprint=8192, gap=1200.0, seq=0.30, run=4.0, mem=False),
+    _p("bzip2", footprint=10240, gap=550.0, seq=0.65, run=8.0, mem=False),
+    _p("omnet", footprint=16384, gap=350.0, seq=0.10, run=2.0, mem=True, theta=0.3),
+    _p("mcf", footprint=16384, gap=180.0, seq=0.25, run=2.0, mem=True, theta=0.3),
+]
+
+SPEC06_BY_NAME: Dict[str, WorkloadProfile] = {p.name: p for p in SPEC06_PROFILES}

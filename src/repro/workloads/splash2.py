@@ -1,0 +1,71 @@
+"""Splash2 benchmark stand-ins (Figure 8a's fourteen workloads).
+
+Profiles are calibrated from the paper's own characterization:
+
+* Figure 8a orders the benchmarks by ORAM-over-DRAM overhead and paints
+  water_nsquared ... fmm as computation intensive (< 2x overhead) and
+  cholesky ... ocean_non_contiguous as memory intensive;
+* the static super block scheme *loses* on volrend and radix (bad spatial
+  locality) and wins big on ocean_contiguous (42% gain for dyn);
+* compute-bound water_* "do not access ORAM frequently" (excluded from the
+  Figure 9 miss-rate plot).
+
+The knobs: ``gap_mean``/``footprint`` set memory intensity against the
+512 KB (4096-line) LLC; ``seq_fraction``/``run_len_mean`` set how much a
+pair-granularity prefetcher can harvest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import WorkloadProfile
+
+
+def _p(
+    name: str,
+    footprint: int,
+    gap: float,
+    seq: float,
+    run: float,
+    mem: bool,
+    write: float = 0.25,
+    theta: float = 0.0,
+) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name,
+        suite="splash2",
+        footprint_blocks=footprint,
+        gap_mean=gap,
+        seq_fraction=seq,
+        run_len_mean=run,
+        write_fraction=write,
+        zipf_theta=theta,
+        memory_intensive=mem,
+    )
+
+
+#: Figure 8a order: ascending baseline-ORAM overhead.  Gaps are calibrated
+#: so the ORAM-over-DRAM overhead ladder matches the paper's (compute
+#: intensive < 2x in water_ns..fmm, memory intensive beyond).
+SPLASH2_PROFILES: List[WorkloadProfile] = [
+    _p("water_ns", footprint=1024, gap=220.0, seq=0.50, run=6.0, mem=False),
+    _p("water_s", footprint=1536, gap=200.0, seq=0.50, run=6.0, mem=False),
+    _p("radiosity", footprint=4608, gap=2000.0, seq=0.12, run=3.0, mem=False, theta=0.7),
+    _p("lu_c", footprint=4608, gap=1800.0, seq=0.25, run=8.0, mem=False),
+    _p("volrend", footprint=12288, gap=1500.0, seq=0.08, run=2.0, mem=False, theta=0.4),
+    _p("barnes", footprint=5120, gap=1400.0, seq=0.18, run=3.0, mem=False, theta=0.65),
+    _p("fmm", footprint=5120, gap=1300.0, seq=0.20, run=3.0, mem=False, theta=0.6),
+    _p("cholesky", footprint=10240, gap=850.0, seq=0.50, run=6.0, mem=True),
+    _p("lu_nc", footprint=10240, gap=620.0, seq=0.55, run=4.0, mem=True),
+    _p("raytrace", footprint=12288, gap=480.0, seq=0.50, run=5.0, mem=True, theta=0.3),
+    _p("radix", footprint=16384, gap=400.0, seq=0.15, run=2.0, mem=True),
+    _p("fft", footprint=12288, gap=220.0, seq=0.75, run=10.0, mem=True),
+    _p("ocean_c", footprint=12288, gap=170.0, seq=0.85, run=16.0, mem=True),
+    _p("ocean_nc", footprint=12288, gap=140.0, seq=0.70, run=8.0, mem=True),
+]
+
+SPLASH2_BY_NAME: Dict[str, WorkloadProfile] = {p.name: p for p in SPLASH2_PROFILES}
+
+#: The benchmarks Figure 9 plots (water_* excluded: too compute bound).
+SPLASH2_MISS_RATE_SET = [p.name for p in SPLASH2_PROFILES if not p.name.startswith("water")]

@@ -1,0 +1,124 @@
+"""The synthetic benchmarks of paper section 5.3.
+
+"The synthetic benchmark accesses an array with two patterns, sequential or
+random.  For the sequential pattern, the part of the array is scanned
+sequentially, leading to good spatial locality.  For the random pattern,
+the data is randomly accessed with no spatial locality."
+
+* :func:`locality_mix_trace` -- the Figure 6a sweep: X% of the data is
+  scanned sequentially, the rest is accessed randomly.
+* :func:`phase_change_trace` -- Figure 6b: which half of the data exhibits
+  locality alternates between phases.
+* :func:`sequential_trace` / :func:`uniform_random_trace` -- the two pure
+  endpoints (Figure 7 uses the 100%-locality case).
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import Trace
+from repro.utils.rng import DeterministicRng
+
+DEFAULT_FOOTPRINT = 16_384  # blocks; 2 MB at 128 B -- well past the 512 KB LLC
+DEFAULT_ACCESSES = 50_000
+DEFAULT_GAP = 4.0
+
+
+def locality_mix_trace(
+    locality: float,
+    footprint_blocks: int = DEFAULT_FOOTPRINT,
+    accesses: int = DEFAULT_ACCESSES,
+    gap_mean: float = DEFAULT_GAP,
+    seed: int = 11,
+) -> Trace:
+    """X% of the data scanned sequentially, the rest random (Figure 6a).
+
+    The first ``locality`` fraction of the address space is the sequential
+    region, cyclically scanned; the remainder is accessed uniformly at
+    random.  The access stream draws from the two regions in proportion to
+    their sizes, so "X% locality" means X% of both data and accesses.
+    """
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError("locality must be within [0, 1]")
+    rng = DeterministicRng(seed)
+    seq_blocks = int(footprint_blocks * locality)
+    trace = Trace(
+        name=f"locality_{int(round(locality * 100))}",
+        footprint_blocks=footprint_blocks,
+    )
+    pointer = 0
+    for _ in range(accesses):
+        gap = rng.expovariate_int(gap_mean)
+        if seq_blocks > 0 and rng.random() < locality:
+            addr = pointer
+            pointer = (pointer + 1) % seq_blocks
+        else:
+            if seq_blocks >= footprint_blocks:
+                addr = rng.randint(0, footprint_blocks - 1)
+            else:
+                addr = rng.randint(seq_blocks, footprint_blocks - 1)
+        trace.entries.append((gap, addr, 0))
+    return trace
+
+
+def phase_change_trace(
+    num_phases: int = 8,
+    footprint_blocks: int = DEFAULT_FOOTPRINT,
+    accesses: int = DEFAULT_ACCESSES,
+    gap_mean: float = DEFAULT_GAP,
+    seed: int = 12,
+) -> Trace:
+    """Alternating-locality phases (Figure 6b).
+
+    "In the first phase, half of the data are accessed sequentially and the
+    other half randomly.  In the second phase, the first (second) half is
+    randomly (sequentially) accessed.  The pattern keeps switching."
+    """
+    if num_phases < 1:
+        raise ValueError("need at least one phase")
+    rng = DeterministicRng(seed)
+    half = footprint_blocks // 2
+    per_phase = accesses // num_phases
+    trace = Trace(name="phase_change", footprint_blocks=footprint_blocks)
+    pointer = 0
+    for phase in range(num_phases):
+        seq_base = 0 if phase % 2 == 0 else half
+        rand_base = half if phase % 2 == 0 else 0
+        for _ in range(per_phase):
+            gap = rng.expovariate_int(gap_mean)
+            if rng.random() < 0.5:
+                addr = seq_base + pointer
+                pointer = (pointer + 1) % half
+            else:
+                addr = rand_base + rng.randint(0, half - 1)
+            trace.entries.append((gap, addr, 0))
+    return trace
+
+
+def sequential_trace(
+    footprint_blocks: int = DEFAULT_FOOTPRINT,
+    accesses: int = DEFAULT_ACCESSES,
+    gap_mean: float = DEFAULT_GAP,
+    seed: int = 13,
+) -> Trace:
+    """Pure cyclic sequential scan: 100% spatial locality (Figure 7)."""
+    rng = DeterministicRng(seed)
+    trace = Trace(name="sequential", footprint_blocks=footprint_blocks)
+    for i in range(accesses):
+        gap = rng.expovariate_int(gap_mean)
+        trace.entries.append((gap, i % footprint_blocks, 0))
+    return trace
+
+
+def uniform_random_trace(
+    footprint_blocks: int = DEFAULT_FOOTPRINT,
+    accesses: int = DEFAULT_ACCESSES,
+    gap_mean: float = DEFAULT_GAP,
+    seed: int = 14,
+) -> Trace:
+    """Pure uniform random access: zero spatial locality."""
+    rng = DeterministicRng(seed)
+    trace = Trace(name="random", footprint_blocks=footprint_blocks)
+    for _ in range(accesses):
+        gap = rng.expovariate_int(gap_mean)
+        trace.entries.append((gap, rng.randint(0, footprint_blocks - 1), 0))
+    return trace

@@ -1,0 +1,33 @@
+"""Shared fixtures: small, fast configurations for unit/integration tests."""
+
+import pytest
+
+from repro.config import CacheConfig, DRAMConfig, ORAMConfig, SystemConfig
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def rng():
+    """A seeded random source for tests that need ad-hoc draws."""
+    return DeterministicRng(1234)
+
+
+@pytest.fixture
+def small_oram_config():
+    """A tiny tree that still exercises multi-level paths and the stash."""
+    return ORAMConfig(levels=6, bucket_size=3, stash_blocks=40, utilization=0.6)
+
+
+@pytest.fixture
+def small_system_config(small_oram_config):
+    """A scaled-down Table 1: small caches so misses happen quickly.
+
+    Most test modules define their own local configs for independence;
+    these fixtures serve ad-hoc/new tests.
+    """
+    return SystemConfig(
+        oram=small_oram_config,
+        l1=CacheConfig(capacity_bytes=4 * 1024, associativity=4),
+        llc=CacheConfig(capacity_bytes=16 * 1024, associativity=8, hit_latency=8),
+        dram=DRAMConfig(),
+    )

@@ -1,0 +1,101 @@
+"""Unit tests for the bit helpers used by alignment and path arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    align_down,
+    common_prefix_length,
+    group_base,
+    is_power_of_two,
+    log2_exact,
+    neighbor_group_base,
+)
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two_accepts_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_is_power_of_two_rejects_non_powers(self):
+        for value in [0, -1, -2, 3, 5, 6, 7, 9, 12, 100]:
+            assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(2) == 1
+        assert log2_exact(1024) == 10
+
+    def test_log2_exact_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_exact(12)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(13, 4) == 12
+        assert align_down(16, 4) == 16
+        assert align_down(3, 8) == 0
+
+    def test_align_down_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            align_down(13, 3)
+
+    def test_group_base_matches_paper_example(self):
+        # Figure 3: 0x00/0x01 form a size-2 group; 0x04..0x07 a size-4 group.
+        assert group_base(0x01, 2) == 0x00
+        assert group_base(0x05, 4) == 0x04
+        # 0x03 and 0x04 are NOT in a common size-2 group.
+        assert group_base(0x03, 2) != group_base(0x04, 2)
+
+    def test_neighbor_group_base_paper_example(self):
+        # 0x02 is the neighbor of 0x03 (size 1 groups).
+        assert neighbor_group_base(0x03, 1) == 0x02
+        assert neighbor_group_base(0x02, 1) == 0x03
+        # (0x00,0x01) and (0x02,0x03) are neighbors ...
+        assert neighbor_group_base(0x00, 2) == 0x02
+        # ... but (0x02,0x03) and (0x04,0x05) are not.
+        assert neighbor_group_base(0x04, 2) == 0x06
+
+    @given(st.integers(min_value=0, max_value=2**20), st.sampled_from([1, 2, 4, 8, 16]))
+    def test_neighbor_is_symmetric_and_forms_aligned_double(self, addr, size):
+        base = group_base(addr, size)
+        neighbor = neighbor_group_base(addr, size)
+        # Symmetry.
+        assert neighbor_group_base(neighbor, size) == base
+        # Together they form an aligned group of twice the size.
+        combined = group_base(min(base, neighbor), 2 * size)
+        assert {base, neighbor} == {combined, combined + size}
+
+
+class TestCommonPrefix:
+    def test_identical_leaves_share_full_depth(self):
+        assert common_prefix_length(5, 5, 4) == 4
+
+    def test_completely_different(self):
+        # MSB differs: only the root is shared.
+        assert common_prefix_length(0b1000, 0b0000, 4) == 0
+
+    def test_partial(self):
+        assert common_prefix_length(0b1010, 0b1000, 4) == 2
+
+    def test_depth_zero(self):
+        assert common_prefix_length(0, 0, 0) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=2**10 - 1),
+        st.integers(min_value=0, max_value=2**10 - 1),
+    )
+    def test_bounds_and_symmetry(self, a, b):
+        depth = 10
+        cpl = common_prefix_length(a, b, depth)
+        assert 0 <= cpl <= depth
+        assert cpl == common_prefix_length(b, a, depth)
+        if a == b:
+            assert cpl == depth
+        else:
+            # The first differing bit is at position depth - cpl - 1.
+            assert (a >> (depth - cpl)) == (b >> (depth - cpl))
+            assert (a >> (depth - cpl - 1)) != (b >> (depth - cpl - 1))

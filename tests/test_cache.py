@@ -1,0 +1,117 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.set_associative import SetAssociativeCache
+from repro.config import CacheConfig
+
+
+def make_cache(capacity=2048, assoc=2, block=128):
+    return SetAssociativeCache(CacheConfig(capacity, assoc, block))
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(5)
+        cache.insert(5)
+        assert cache.lookup(5)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_contains_no_lru_side_effect(self):
+        cache = make_cache(capacity=512, assoc=2)  # 2 sets, 2 ways
+        cache.insert(0)
+        cache.insert(2)  # same set as 0 (addr % 2 == 0)
+        cache.contains(0)  # probe must NOT refresh 0
+        cache.insert(4)  # evicts LRU = 0
+        assert not cache.contains(0)
+        assert cache.contains(2)
+
+    def test_lookup_refreshes_lru(self):
+        cache = make_cache(capacity=512, assoc=2)
+        cache.insert(0)
+        cache.insert(2)
+        cache.lookup(0)  # 0 becomes MRU
+        victim = cache.insert(4)
+        assert victim is not None and victim.addr == 2
+
+    def test_insert_returns_victim(self):
+        cache = make_cache(capacity=512, assoc=2)
+        assert cache.insert(0) is None
+        assert cache.insert(2) is None
+        victim = cache.insert(4)
+        assert victim is not None and victim.addr == 0
+
+    def test_dirty_tracking(self):
+        cache = make_cache(capacity=512, assoc=2)
+        cache.insert(0)
+        cache.lookup(0, is_write=True)
+        cache.insert(2)
+        victim = cache.insert(4)
+        assert victim.addr == 0 and victim.dirty
+
+    def test_mark_dirty(self):
+        cache = make_cache(capacity=512, assoc=2)
+        cache.insert(0)
+        cache.mark_dirty(0)
+        victim = cache.invalidate(0)
+        assert victim.dirty
+
+    def test_insert_existing_merges_dirty(self):
+        cache = make_cache(capacity=512, assoc=2)
+        cache.insert(0, dirty=True)
+        cache.insert(0, dirty=False)
+        victim = cache.invalidate(0)
+        assert victim.dirty  # dirtiness is sticky
+
+    def test_invalidate_missing(self):
+        cache = make_cache()
+        assert cache.invalidate(99) is None
+
+    def test_occupancy_and_residents(self):
+        cache = make_cache(capacity=1024, assoc=2)
+        for addr in range(4):
+            cache.insert(addr)
+        assert cache.occupancy() == 4
+        assert sorted(cache.resident_addresses()) == [0, 1, 2, 3]
+
+
+class TestSetMapping:
+    def test_different_sets_do_not_conflict(self):
+        cache = make_cache(capacity=512, assoc=2)  # 2 sets
+        cache.insert(0)
+        cache.insert(1)  # other set
+        cache.insert(2)
+        cache.insert(3)
+        assert cache.occupancy() == 4  # no evictions
+
+    def test_adjacent_addresses_map_to_different_sets(self):
+        # Pair members (addr, addr+1) never evict each other -- relied on
+        # by the super block fill path.
+        cache = make_cache(capacity=2048, assoc=2)  # 8 sets
+        for addr in range(0, 64, 2):
+            assert addr % 8 != (addr + 1) % 8
+
+
+class TestProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+    def test_occupancy_never_exceeds_ways(self, addrs):
+        cache = make_cache(capacity=1024, assoc=2)  # 4 sets x 2 ways
+        for addr in addrs:
+            if not cache.lookup(addr):
+                cache.insert(addr)
+        assert cache.occupancy() <= 8
+        # Per-set constraint.
+        for s in cache._sets:
+            assert len(s) <= 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+    def test_most_recent_insert_is_resident(self, addrs):
+        cache = make_cache(capacity=1024, assoc=2)
+        for addr in addrs:
+            cache.insert(addr)
+            assert cache.contains(addr)

@@ -1,0 +1,75 @@
+"""Unit tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_positive_bars_grow_right_of_axis(self):
+        text = bar_chart(["a"], [0.5], width=20)
+        line = text.splitlines()[0]
+        axis = line.index("|")
+        assert "#" in line[axis + 1:]
+        assert "#" not in line[:axis]
+
+    def test_negative_bars_grow_left_of_axis(self):
+        text = bar_chart(["a"], [-0.5], width=20)
+        line = text.splitlines()[0]
+        axis = line.index("|")
+        assert "#" in line[:axis]
+        assert "#" not in line[axis + 1:line.rindex("-")]
+
+    def test_values_rendered(self):
+        text = bar_chart(["x"], [0.123], unit="%")
+        assert "+0.123%" in text
+
+    def test_title(self):
+        text = bar_chart(["x"], [1.0], title="My chart")
+        assert text.splitlines()[0] == "My chart"
+
+    def test_proportionality(self):
+        text = bar_chart(["big", "small"], [1.0, 0.5], width=40)
+        big, small = text.splitlines()
+        assert big.count("#") >= 2 * small.count("#") - 1
+
+    def test_zero_values(self):
+        text = bar_chart(["z"], [0.0])
+        assert "#" not in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+
+class TestGroupedBarChart:
+    def test_groups_labelled_once(self):
+        text = grouped_bar_chart(
+            ["w1", "w2"], {"stat": [0.1, 0.2], "dyn": [0.3, 0.4]}
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].lstrip().startswith("w1")
+        assert "stat" in lines[0] and "dyn" in lines[1]
+
+    def test_shared_scale(self):
+        text = grouped_bar_chart(["w"], {"a": [1.0], "b": [0.25]}, width=40)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("#") >= 3 * b_line.count("#") - 1
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        glyphs = " .:-=+*#%@"
+        line = sparkline([0, 1, 2, 3, 4, 5])
+        indices = [glyphs.index(c) for c in line]
+        assert indices == sorted(indices)
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert len(sparkline([5, 5, 5])) == 3

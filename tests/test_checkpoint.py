@@ -1,0 +1,111 @@
+"""Unit tests for ORAM checkpoint / restore."""
+
+import pytest
+
+from repro.config import ORAMConfig
+from repro.oram.checkpoint import dump_oram, load_oram, restore_oram, save_oram
+from repro.oram.path_oram import PathORAM
+from repro.utils.rng import DeterministicRng
+
+
+def make_oram(levels=5, seed=3):
+    config = ORAMConfig(levels=levels, bucket_size=3, stash_blocks=40, utilization=0.5)
+    return PathORAM(config, DeterministicRng(seed))
+
+
+class TestRoundtrip:
+    def test_fresh_oram_roundtrips(self):
+        oram = make_oram()
+        restored = load_oram(dump_oram(oram))
+        restored.check_invariants()
+        n = oram.position_map.num_blocks
+        assert restored.position_map.num_blocks == n
+        for addr in range(n):
+            assert restored.position_map.leaf(addr) == oram.position_map.leaf(addr)
+
+    def test_used_oram_roundtrips(self):
+        oram = make_oram()
+        for addr in range(30):
+            block = oram.access([addr])[addr]
+            block.data = bytes([addr]) * 4
+        oram.position_map.set_merge_bit(5, 1)
+        oram.position_map.set_break_bit(6, 1)
+        oram.position_map.set_prefetch_bit(7, 1)
+        restored = load_oram(dump_oram(oram))
+        restored.check_invariants()
+        assert restored.position_map.merge_bit(5) == 1
+        assert restored.position_map.break_bit(6) == 1
+        assert restored.position_map.prefetch_bit(7) == 1
+        assert restored.real_accesses == oram.real_accesses
+        # Payloads survive.
+        for addr in range(30):
+            assert restored.access([addr])[addr].data == bytes([addr]) * 4
+
+    def test_restored_oram_keeps_working(self):
+        oram = make_oram()
+        for addr in range(20):
+            oram.access([addr])
+        restored = load_oram(dump_oram(oram))
+        for addr in range(40):
+            restored.access([addr % restored.position_map.num_blocks])
+        restored.drain_stash()
+        restored.check_invariants()
+
+    def test_file_roundtrip(self, tmp_path):
+        oram = make_oram()
+        oram.access([3])
+        path = str(tmp_path / "oram.ckpt")
+        save_oram(oram, path)
+        restored = restore_oram(path)
+        restored.check_invariants()
+
+    def test_super_block_state_survives(self):
+        oram = make_oram()
+        # Merge a pair (shared leaf), then checkpoint.
+        leaf = oram.position_map.leaf(8)
+        oram.access([9], new_leaf=leaf)
+        restored = load_oram(dump_oram(oram))
+        assert restored.position_map.group_is_super_block(8, 2)
+        # Accessing the restored super block fetches both members.
+        blocks = restored.access([8, 9])
+        assert set(blocks) == {8, 9}
+
+
+class TestValidation:
+    def test_mid_access_checkpoint_rejected(self):
+        oram = make_oram()
+        oram.begin_access([1])
+        with pytest.raises(RuntimeError):
+            dump_oram(oram)
+        oram.finish_access()
+
+    def test_version_check(self):
+        import json
+
+        state = json.loads(dump_oram(make_oram()))
+        state["version"] = 999
+        with pytest.raises(ValueError):
+            load_oram(json.dumps(state))
+
+    def test_truncated_state_rejected(self):
+        import json
+
+        state = json.loads(dump_oram(make_oram()))
+        state["leaves"] = state["leaves"][:-1]
+        with pytest.raises(ValueError):
+            load_oram(json.dumps(state))
+
+    def test_corrupted_bucket_caught_by_invariants(self):
+        import json
+
+        state = json.loads(dump_oram(make_oram()))
+        # Move a block to a bucket off its path: restore must refuse.
+        for index, bucket in enumerate(state["buckets"]):
+            if bucket:
+                block = bucket.pop()
+                target = (index + 1) % len(state["buckets"])
+                block["l"] = (block["l"] + 7) % 32
+                state["buckets"][target].append(block)
+                break
+        with pytest.raises(AssertionError):
+            load_oram(json.dumps(state))

@@ -1,0 +1,100 @@
+"""Unit tests for the Table 1 configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    DEFAULT_CONFIG,
+    DRAMConfig,
+    ORAMConfig,
+    SystemConfig,
+)
+
+
+class TestORAMConfig:
+    def test_defaults_match_table1(self):
+        cfg = ORAMConfig()
+        assert cfg.capacity_bytes == 8 * 1024**3
+        assert cfg.block_bytes == 128
+        assert cfg.bucket_size == 3
+        assert cfg.stash_blocks == 100
+        assert cfg.num_hierarchies == 4
+        assert cfg.max_super_block_size == 2
+
+    def test_geometry(self):
+        cfg = ORAMConfig(levels=4)
+        assert cfg.num_leaves == 16
+        assert cfg.num_buckets == 31
+        assert cfg.tree_capacity_blocks == 31 * 3
+
+    def test_nominal_levels_for_8gb(self):
+        # 2^26 blocks at ~70% utilization of a Z=3 tree.
+        cfg = ORAMConfig()
+        levels = cfg.nominal_levels
+        assert 24 <= levels <= 26
+        capacity = ((1 << (levels + 1)) - 1) * cfg.bucket_size
+        assert capacity * cfg.utilization >= cfg.capacity_bytes // cfg.block_bytes
+
+    def test_scaled_to_footprint(self):
+        cfg = ORAMConfig()
+        scaled = cfg.scaled_to_footprint(10_000)
+        assert scaled.num_blocks >= 10_000
+        # Smallest tree satisfying the footprint: one level less is too small.
+        smaller = ORAMConfig(levels=scaled.levels - 1)
+        assert smaller.tree_capacity_blocks * cfg.utilization < 10_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ORAMConfig(levels=0)
+        with pytest.raises(ValueError):
+            ORAMConfig(bucket_size=0)
+        with pytest.raises(ValueError):
+            ORAMConfig(block_bytes=100)
+        with pytest.raises(ValueError):
+            ORAMConfig(max_super_block_size=3)
+        with pytest.raises(ValueError):
+            ORAMConfig(utilization=0.0)
+
+
+class TestCacheConfig:
+    def test_table1_llc(self):
+        llc = DEFAULT_CONFIG.llc
+        assert llc.capacity_bytes == 512 * 1024
+        assert llc.associativity == 8
+        assert llc.num_lines == 4096
+        assert llc.num_sets == 512
+
+    def test_index_bits(self):
+        cfg = CacheConfig(capacity_bytes=16 * 1024, associativity=4, block_bytes=128)
+        assert cfg.num_sets == 32
+        assert cfg.index_bits == 5
+
+    def test_rejects_unaligned_capacity(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_bytes=1000, associativity=3, block_bytes=128)
+
+
+class TestDRAMConfig:
+    def test_bytes_per_cycle(self):
+        # 16 GB/s at 1 GHz = 16 bytes per cycle.
+        assert DRAMConfig().bytes_per_cycle == pytest.approx(16.0)
+
+    def test_bandwidth_scales(self):
+        assert DRAMConfig(bandwidth_gbps=4.0).bytes_per_cycle == pytest.approx(4.0)
+
+
+class TestSystemConfig:
+    def test_block_size_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            SystemConfig(
+                oram=ORAMConfig(block_bytes=128),
+                l1=CacheConfig(capacity_bytes=32 * 1024, associativity=4, block_bytes=64),
+            )
+
+    def test_with_block_bytes(self):
+        cfg = DEFAULT_CONFIG.with_block_bytes(64)
+        assert cfg.oram.block_bytes == 64
+        assert cfg.l1.block_bytes == 64
+        assert cfg.llc.block_bytes == 64
+        # Line count doubles at half the line size.
+        assert cfg.llc.num_lines == 2 * DEFAULT_CONFIG.llc.num_lines

@@ -1,0 +1,85 @@
+"""Unit and property tests for the merge/break counter codec (section 4.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.counters import (
+    bits_to_value,
+    counter_max,
+    initial_break_value,
+    merge_counter_width,
+    saturate,
+    static_merge_threshold,
+    value_to_bits,
+)
+
+
+class TestCodec:
+    def test_bits_to_value_msb_first(self):
+        assert bits_to_value([1, 0]) == 2
+        assert bits_to_value([0, 1]) == 1
+        assert bits_to_value([1, 1, 1, 1]) == 15
+        assert bits_to_value([]) == 0
+
+    def test_value_to_bits(self):
+        assert value_to_bits(2, 2) == [1, 0]
+        assert value_to_bits(0, 4) == [0, 0, 0, 0]
+        assert value_to_bits(15, 4) == [1, 1, 1, 1]
+
+    def test_value_to_bits_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            value_to_bits(4, 2)
+        with pytest.raises(ValueError):
+            value_to_bits(-1, 2)
+
+    @given(st.integers(min_value=1, max_value=16))
+    def test_roundtrip_property(self, width):
+        # P5: packing then unpacking is the identity over the whole range.
+        for value in range(min(counter_max(width) + 1, 300)):
+            assert bits_to_value(value_to_bits(value, width)) == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=16))
+    def test_roundtrip_from_bits(self, bits):
+        assert value_to_bits(bits_to_value(bits), len(bits)) == bits
+
+
+class TestSaturation:
+    def test_saturate_clamps(self):
+        assert saturate(-1, 2) == 0
+        assert saturate(4, 2) == 3
+        assert saturate(2, 2) == 2
+
+    @given(st.integers(min_value=-100, max_value=100), st.integers(min_value=1, max_value=8))
+    def test_saturate_in_range(self, value, width):
+        out = saturate(value, width)
+        assert 0 <= out <= counter_max(width)
+
+
+class TestPaperConstants:
+    def test_merge_counter_widths(self):
+        # "the merge counter ... is 2n bits long"
+        assert merge_counter_width(1) == 2
+        assert merge_counter_width(2) == 4
+        assert merge_counter_width(4) == 8
+
+    def test_static_merge_thresholds(self):
+        # "For block size of 1, 2 and 4 before merging, this corresponds to
+        # the threshold value of 2, 4 and 8, respectively."
+        assert static_merge_threshold(1) == 2
+        assert static_merge_threshold(2) == 4
+        assert static_merge_threshold(4) == 8
+
+    def test_threshold_fits_in_counter(self):
+        for half in [1, 2, 4, 8]:
+            assert static_merge_threshold(half) <= counter_max(merge_counter_width(half))
+
+    def test_initial_break_value(self):
+        # 2n saturated to the n-bit counter: sbsize 2 -> 3 (not 4).
+        assert initial_break_value(2) == 3
+        assert initial_break_value(4) == 8
+        assert initial_break_value(8) == 16
+
+    def test_initial_break_value_in_range(self):
+        for sbsize in [2, 4, 8, 16]:
+            assert 0 <= initial_break_value(sbsize) <= counter_max(sbsize)

@@ -1,0 +1,72 @@
+"""Unit tests for the DRAM backend timing model."""
+
+from repro.config import DRAMConfig
+from repro.memory.dram import DRAMBackend
+
+
+def make_dram(**kwargs):
+    return DRAMBackend(DRAMConfig(**kwargs), block_bytes=128)
+
+
+class TestDemand:
+    def test_single_access_latency(self):
+        dram = make_dram()
+        result = dram.demand_access(0, now=1000, is_write=False)
+        assert result.completion_cycle == 1000 + 100 + 8
+        assert result.filled == [(0, False)]
+
+    def test_same_bank_serializes(self):
+        dram = make_dram(num_banks=8)
+        first = dram.demand_access(0, now=0, is_write=False)
+        second = dram.demand_access(8, now=0, is_write=False)  # same bank
+        assert second.completion_cycle > first.completion_cycle
+
+    def test_different_banks_overlap(self):
+        dram = make_dram(num_banks=8)
+        first = dram.demand_access(0, now=0, is_write=False)
+        second = dram.demand_access(1, now=0, is_write=False)
+        # Bank latencies overlap; only the bus transfer serializes.
+        assert second.completion_cycle == first.completion_cycle + 8
+
+    def test_counts(self):
+        dram = make_dram()
+        dram.demand_access(0, 0, False)
+        dram.demand_access(1, 0, False)
+        assert dram.stats.demand_requests == 2
+        assert dram.stats.memory_accesses == 2
+
+
+class TestPrefetch:
+    def test_prefetch_served_when_idle(self):
+        dram = make_dram()
+        result = dram.prefetch_access(5, now=0)
+        assert result is not None
+        assert result.filled == [(5, True)]
+        assert dram.stats.prefetch_requests == 1
+
+    def test_prefetch_declined_when_bus_backlogged(self):
+        dram = make_dram(num_banks=1)
+        for addr in range(20):
+            dram.demand_access(addr, now=0, is_write=False)
+        assert dram.prefetch_access(99, now=0) is None
+
+
+class TestWriteback:
+    def test_dirty_eviction_consumes_bandwidth_without_stalling(self):
+        dram = make_dram()
+        dram.evict_line(3, dirty=True, now=0)
+        assert dram.stats.write_accesses == 1
+        assert dram.stats.memory_accesses == 1
+        # A single writeback hides under the demand's 100-cycle latency ...
+        assert dram.demand_access(4, now=0, is_write=False).completion_cycle == 108
+        # ... but a burst of writebacks backlogs the pins and delays demands.
+        dram2 = make_dram()
+        for _ in range(20):
+            dram2.evict_line(3, dirty=True, now=0)
+        result = dram2.demand_access(4, now=0, is_write=False)
+        assert result.completion_cycle > 108
+
+    def test_clean_eviction_free(self):
+        dram = make_dram()
+        dram.evict_line(3, dirty=False, now=0)
+        assert dram.stats.memory_accesses == 0

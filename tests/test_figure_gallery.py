@@ -1,0 +1,57 @@
+"""Tests for the figure-gallery example's table parsing and charting."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+
+def load_example():
+    path = Path(__file__).parent.parent / "examples" / "figure_gallery.py"
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+SAMPLE = """Figure X: a sample
+locality    stat     dyn
+--------  ------  ------
+     0.0  -0.144  -0.004
+     1.0  +0.433  +0.566
+"""
+
+
+def test_parse_table(tmp_path):
+    module = load_example()
+    path = tmp_path / "t.txt"
+    path.write_text(SAMPLE)
+    title, headers, rows = module.parse_table(path)
+    assert title.startswith("Figure X")
+    assert headers == ["locality", "stat", "dyn"]
+    assert rows[0] == ["0.0", "-0.144", "-0.004"]
+
+
+def test_numeric():
+    module = load_example()
+    assert module.numeric("+0.5") == 0.5
+    assert module.numeric("-1.25") == -1.25
+    assert module.numeric("abc") is None
+
+
+def test_chart_from_table(tmp_path):
+    module = load_example()
+    path = tmp_path / "t.txt"
+    path.write_text(SAMPLE)
+    chart = module.chart_from_table(path, ["stat", "dyn"])
+    assert "Figure X" in chart
+    assert "+0.566" in chart
+    assert "#" in chart
+
+
+def test_chart_skips_non_numeric_rows(tmp_path):
+    module = load_example()
+    path = tmp_path / "t.txt"
+    path.write_text(SAMPLE + "     avg     n/a     n/a\n")
+    chart = module.chart_from_table(path, ["stat", "dyn"])
+    assert "avg" not in chart

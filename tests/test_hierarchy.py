@@ -1,0 +1,88 @@
+"""Unit tests for the two-level inclusive cache hierarchy."""
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.config import CacheConfig
+
+
+def make_hierarchy(callback=None, l1_kb=2, llc_kb=8):
+    return CacheHierarchy(
+        CacheConfig(l1_kb * 1024, 2, 128),
+        CacheConfig(llc_kb * 1024, 4, 128, hit_latency=8),
+        victim_callback=callback,
+    )
+
+
+class TestAccessPath:
+    def test_miss_fill_then_l1_hit(self):
+        h = make_hierarchy()
+        assert h.access(5, False).level == "miss"
+        h.fill_demand(5, False)
+        assert h.access(5, False).level == "l1"
+
+    def test_llc_hit_promotes_to_l1(self):
+        h = make_hierarchy()
+        h.fill_prefetch(7)  # LLC only
+        assert h.access(7, False).level == "llc"
+        assert h.access(7, False).level == "l1"
+
+    def test_latencies(self):
+        h = make_hierarchy()
+        h.fill_demand(1, False)
+        assert h.access(1, False).latency == 1
+        h.fill_prefetch(2)
+        assert h.access(2, False).latency == 9  # L1 lookup + LLC hit
+
+
+class TestInclusion:
+    def test_llc_eviction_back_invalidates_l1(self):
+        victims = []
+        h = make_hierarchy(callback=lambda a, d: victims.append((a, d)))
+        # Fill one LLC set (4 ways) with conflicting lines; LLC has 16 sets.
+        addrs = [0, 16, 32, 48, 64]
+        for addr in addrs:
+            h.fill_demand(addr, False)
+        # One LLC victim must have been evicted and removed from L1 too.
+        assert len(victims) == 1
+        evicted = victims[0][0]
+        assert not h.l1.contains(evicted)
+        assert not h.llc.contains(evicted)
+
+    def test_every_llc_line_reported_once_on_eviction(self):
+        victims = []
+        h = make_hierarchy(callback=lambda a, d: victims.append(a))
+        for addr in range(0, 2048, 16):  # conflicting set-0 lines
+            h.fill_demand(addr, False)
+        inserted = len(range(0, 2048, 16))
+        assert len(victims) == inserted - 4  # 4 ways survive
+
+
+class TestDirtyPropagation:
+    def test_write_marks_llc_dirty_through_l1(self):
+        dirty_flags = []
+        h = make_hierarchy(callback=lambda a, d: dirty_flags.append((a, d)))
+        h.fill_demand(3, False)
+        assert h.access(3, True).level == "l1"  # write hits the L1
+        h.invalidate(3)
+        assert dirty_flags == [(3, True)]
+
+    def test_demand_write_fill_is_dirty(self):
+        flags = []
+        h = make_hierarchy(callback=lambda a, d: flags.append((a, d)))
+        h.fill_demand(4, True)
+        h.invalidate(4)
+        assert flags == [(4, True)]
+
+    def test_clean_line_reported_clean(self):
+        flags = []
+        h = make_hierarchy(callback=lambda a, d: flags.append((a, d)))
+        h.fill_demand(4, False)
+        h.invalidate(4)
+        assert flags == [(4, False)]
+
+
+class TestProbe:
+    def test_contains_is_llc_probe(self):
+        h = make_hierarchy()
+        h.fill_prefetch(9)
+        assert h.contains(9)
+        assert not h.contains(10)

@@ -1,0 +1,113 @@
+"""Unit tests for the Merkle integrity layer."""
+
+import pytest
+
+from repro.config import ORAMConfig
+from repro.oram.block import Block
+from repro.oram.integrity import (
+    IntegrityViolationError,
+    MerkleTree,
+    VerifiedPathORAM,
+)
+from repro.oram.tree import BinaryTree
+from repro.utils.rng import DeterministicRng
+
+
+def make_tree(levels=3, bucket_size=2):
+    tree = BinaryTree(levels=levels, bucket_size=bucket_size)
+    tree.write_bucket(0, 0, [Block(1, 3)])
+    tree.write_bucket(3, 5, [Block(2, 5, b"payload")])
+    return tree
+
+
+class TestMerkleTree:
+    def test_fresh_tree_verifies(self):
+        tree = make_tree()
+        merkle = MerkleTree(tree)
+        merkle.verify_all()
+        for leaf in range(tree.num_leaves):
+            merkle.verify_path(leaf)
+
+    def test_root_changes_with_content(self):
+        tree = make_tree()
+        merkle = MerkleTree(tree)
+        before = merkle.root
+        tree.write_bucket(2, 7, [Block(9, 7)])
+        merkle.update_path(7)
+        assert merkle.root != before
+        merkle.verify_all()
+
+    def test_unupdated_write_is_detected(self):
+        # An adversary swaps a bucket without fixing the hashes.
+        tree = make_tree()
+        merkle = MerkleTree(tree)
+        tree.write_bucket(3, 5, [Block(666, 5, b"forged")])
+        with pytest.raises(IntegrityViolationError):
+            merkle.verify_path(5)
+
+    def test_tampered_payload_detected(self):
+        tree = make_tree()
+        merkle = MerkleTree(tree)
+        tree.bucket(tree.bucket_index(3, 5))[0].data = b"evil"
+        with pytest.raises(IntegrityViolationError):
+            merkle.verify_path(5)
+
+    def test_tampered_hash_detected(self):
+        tree = make_tree()
+        merkle = MerkleTree(tree)
+        index = tree.bucket_index(3, 5)
+        merkle.overwrite_hash(index, b"\x00" * 32)
+        with pytest.raises(IntegrityViolationError):
+            merkle.verify_path(5)
+
+    def test_off_path_changes_not_checked_by_path_verify(self):
+        # Path verification is local: leaf 0's path does not cover leaf 7's
+        # leaf bucket, but verify_all does.
+        tree = make_tree()
+        merkle = MerkleTree(tree)
+        far_index = tree.bucket_index(3, 7)
+        tree.bucket(far_index).append(Block(99, 7))
+        merkle.verify_path(0)  # unaffected path still verifies
+        with pytest.raises(IntegrityViolationError):
+            merkle.verify_all()
+
+
+class TestVerifiedPathORAM:
+    def make(self, levels=5):
+        config = ORAMConfig(levels=levels, bucket_size=3, stash_blocks=40, utilization=0.5)
+        return VerifiedPathORAM(config, DeterministicRng(3))
+
+    def test_normal_operation_verifies_every_access(self):
+        oram = self.make()
+        for addr in range(20):
+            oram.access([addr])
+        oram.dummy_access()
+        assert oram.verified_paths == 21
+        oram.merkle.verify_all()
+        oram.check_invariants()
+
+    def test_tampering_between_accesses_is_caught(self):
+        oram = self.make()
+        oram.access([1])
+        target = oram.position_map.leaf(5)
+        index = oram.tree.bucket_index(oram.config.levels, target)
+        # The adversary injects a forged block into the leaf bucket.
+        bucket = oram.tree.bucket(index)
+        if len(bucket) < oram.config.bucket_size:
+            bucket.append(Block(12345 % oram.position_map.num_blocks, target))
+        else:
+            bucket[0].data = b"forged"
+        with pytest.raises(IntegrityViolationError):
+            oram.access([5])
+
+    def test_stale_replay_is_caught(self):
+        # Replay: restore an old bucket image after it was overwritten.
+        oram = self.make()
+        leaf = oram.position_map.leaf(7)
+        index = oram.tree.bucket_index(0, leaf)  # the root bucket
+        stale = list(oram.tree.bucket(index))
+        for addr in range(10):
+            oram.access([addr])
+        oram.tree._buckets[index] = stale  # adversary rewinds the root bucket
+        with pytest.raises(IntegrityViolationError):
+            oram.access([7])

@@ -1,0 +1,27 @@
+"""Smoke tests for the multicore example's helper functions."""
+
+import importlib.util
+from pathlib import Path
+
+
+def load_example():
+    path = Path(__file__).parent.parent / "examples" / "multicore_contention.py"
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_hungry_trace_shape():
+    module = load_example()
+    trace = module.hungry_trace("w", seed=1, footprint=256, n=400)
+    assert len(trace) == 400
+    assert trace.footprint_blocks == 256
+    assert all(0 <= e[1] < 256 for e in trace.entries)
+
+
+def test_traces_differ_by_seed():
+    module = load_example()
+    a = module.hungry_trace("a", seed=1, footprint=256, n=200)
+    b = module.hungry_trace("b", seed=2, footprint=256, n=200)
+    assert a.entries != b.entries

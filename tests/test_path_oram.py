@@ -1,0 +1,173 @@
+"""Unit + property tests for the core Path ORAM protocol.
+
+The central property (P1 in DESIGN.md): after any sequence of accesses,
+every block is on the path of its mapped leaf or in the stash, nothing is
+duplicated, and nothing is lost.  ``check_invariants`` asserts exactly
+that; the hypothesis test drives random access sequences against it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ORAMConfig
+from repro.oram.path_oram import PathORAM
+from repro.security.observer import AccessObserver
+from repro.utils.rng import DeterministicRng
+
+
+def make_oram(levels=5, bucket_size=3, stash=30, utilization=0.5, seed=3, observer=None):
+    config = ORAMConfig(
+        levels=levels, bucket_size=bucket_size, stash_blocks=stash, utilization=utilization
+    )
+    return PathORAM(config, DeterministicRng(seed), observer=observer)
+
+
+class TestConstruction:
+    def test_population_conserves_blocks(self):
+        oram = make_oram()
+        oram.check_invariants()
+
+    def test_double_populate_rejected(self):
+        oram = make_oram()
+        with pytest.raises(RuntimeError):
+            oram.populate()
+
+    def test_deferred_population(self):
+        config = ORAMConfig(levels=4)
+        oram = PathORAM(config, DeterministicRng(1), populate=False)
+        assert oram.tree.occupancy() == 0
+        oram.populate()
+        oram.check_invariants()
+
+
+class TestAccess:
+    def test_access_returns_block_and_remaps(self):
+        oram = make_oram()
+        before = oram.position_map.leaf(7)
+        blocks = oram.access([7], new_leaf=(before + 1) % oram.config.num_leaves)
+        assert blocks[7].addr == 7
+        assert oram.position_map.leaf(7) != before
+        oram.check_invariants()
+
+    def test_block_stays_in_oram_domain(self):
+        oram = make_oram()
+        oram.access([7])
+        assert oram.locate(7) in ("tree", "stash")
+
+    def test_super_block_access_shares_new_leaf(self):
+        oram = make_oram()
+        oram.position_map.remap([4, 5], leaf=oram.position_map.leaf(4))
+        # Relocate physically so the invariant holds before the access:
+        # easiest is to access each individually onto the shared leaf.
+        oram2 = make_oram(seed=9)
+        leaf = oram2.position_map.leaf(4)
+        # force 5 onto the same leaf via an access with explicit new_leaf
+        oram2.access([5], new_leaf=leaf)
+        blocks = oram2.access([4, 5])
+        assert set(blocks) == {4, 5}
+        assert oram2.position_map.leaf(4) == oram2.position_map.leaf(5)
+        oram2.check_invariants()
+
+    def test_access_rejects_split_group(self):
+        oram = make_oram(levels=6)
+        a, b = 0, 1
+        if oram.position_map.leaf(a) == oram.position_map.leaf(b):
+            oram.position_map.set_leaf(b, (oram.position_map.leaf(b) + 1) % 64)
+        with pytest.raises(ValueError):
+            oram.access([a, b])
+
+    def test_access_empty_rejected(self):
+        oram = make_oram()
+        with pytest.raises(ValueError):
+            oram.access([])
+
+    def test_begin_finish_protocol(self):
+        oram = make_oram()
+        blocks = oram.begin_access([3])
+        assert 3 in blocks
+        # Mid-access: the member is guaranteed to be in the stash.
+        assert 3 in oram.stash
+        with pytest.raises(RuntimeError):
+            oram.begin_access([4])
+        oram.finish_access()
+        with pytest.raises(RuntimeError):
+            oram.finish_access()
+        oram.check_invariants()
+
+    def test_remap_group_mid_access_moves_blocks(self):
+        oram = make_oram()
+        oram.begin_access([3])
+        new_leaf = oram.remap_group([3])
+        assert oram.position_map.leaf(3) == new_leaf
+        assert oram.stash.peek(3).leaf == new_leaf
+        oram.finish_access()
+        oram.check_invariants()
+
+
+class TestDummyAccessAndDrain:
+    def test_dummy_access_does_not_remap(self):
+        oram = make_oram()
+        leaves_before = [oram.position_map.leaf(a) for a in range(10)]
+        oram.dummy_access()
+        assert [oram.position_map.leaf(a) for a in range(10)] == leaves_before
+        oram.check_invariants()
+
+    def test_dummy_access_never_grows_stash(self):
+        oram = make_oram()
+        for _ in range(20):
+            before = len(oram.stash)
+            oram.dummy_access()
+            assert len(oram.stash) <= before
+
+    def test_drain_stash_counts(self):
+        oram = make_oram()
+        assert oram.drain_stash() == 0  # nothing to do on a fresh ORAM
+
+    def test_counters(self):
+        oram = make_oram()
+        oram.access([1])
+        oram.dummy_access()
+        assert oram.real_accesses == 1
+        assert oram.dummy_accesses == 1
+
+
+class TestObserver:
+    def test_observer_sees_mapped_leaf(self):
+        observer = AccessObserver()
+        oram = make_oram(observer=observer)
+        target = oram.position_map.leaf(5)
+        oram.access([5])
+        assert observer.accesses[-1].leaf == target
+        assert observer.accesses[-1].kind == "real"
+
+    def test_observer_sees_dummies(self):
+        observer = AccessObserver()
+        oram = make_oram(observer=observer)
+        oram.dummy_access()
+        assert observer.accesses[-1].kind == "dummy"
+
+
+class TestInvariantProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60))
+    def test_random_access_sequences_preserve_invariants(self, raw_addrs):
+        oram = make_oram(levels=4, stash=25, seed=11)
+        n = oram.position_map.num_blocks
+        for raw in raw_addrs:
+            oram.access([raw % n])
+            oram.drain_stash()
+        oram.check_invariants()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_interleaved_dummy_and_real(self, seed):
+        rng = DeterministicRng(seed)
+        oram = make_oram(levels=4, stash=25, seed=seed % 97)
+        n = oram.position_map.num_blocks
+        for _ in range(30):
+            if rng.random() < 0.3:
+                oram.dummy_access()
+            else:
+                oram.access([rng.randint(0, n - 1)])
+        oram.check_invariants()

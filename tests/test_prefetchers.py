@@ -1,0 +1,101 @@
+"""Unit tests for the traditional stream and stride prefetchers."""
+
+from repro.config import PrefetchConfig
+from repro.prefetch.stream import StreamPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+
+def make_stream(num_streams=4, depth=2, train=2):
+    return StreamPrefetcher(
+        PrefetchConfig(enabled=True, num_streams=num_streams, depth=depth, train_threshold=train)
+    )
+
+
+class TestStreamPrefetcher:
+    def test_trains_on_ascending_misses(self):
+        pf = make_stream()
+        assert pf.on_demand_miss(10) == []
+        assert pf.on_demand_miss(11) == []
+        assert pf.on_demand_miss(12) == [13, 14]
+
+    def test_keeps_following_stream(self):
+        pf = make_stream()
+        for addr in (10, 11, 12):
+            pf.on_demand_miss(addr)
+        assert pf.on_demand_miss(13) == [14, 15]
+
+    def test_descending_stream(self):
+        pf = make_stream()
+        pf.on_demand_miss(20)
+        pf.on_demand_miss(19)
+        picks = pf.on_demand_miss(18)
+        assert picks == [17, 16]
+
+    def test_random_misses_never_predict(self):
+        pf = make_stream()
+        for addr in (5, 100, 42, 7, 9999, 3):
+            assert pf.on_demand_miss(addr) == []
+
+    def test_multiple_concurrent_streams(self):
+        pf = make_stream(num_streams=2)
+        # Interleave two ascending streams.
+        pf.on_demand_miss(10)
+        pf.on_demand_miss(500)
+        pf.on_demand_miss(11)
+        pf.on_demand_miss(501)
+        assert pf.on_demand_miss(12) == [13, 14]
+        assert pf.on_demand_miss(502) == [503, 504]
+
+    def test_stream_table_replacement(self):
+        pf = make_stream(num_streams=1)
+        pf.on_demand_miss(10)
+        pf.on_demand_miss(11)
+        # A new stream evicts the old one.
+        pf.on_demand_miss(1000)
+        pf.on_demand_miss(1001)
+        assert pf.on_demand_miss(1002) == [1003, 1004]
+
+    def test_depth_config(self):
+        pf = make_stream(depth=4)
+        pf.on_demand_miss(0)
+        pf.on_demand_miss(1)
+        assert pf.on_demand_miss(2) == [3, 4, 5, 6]
+
+    def test_issue_counter(self):
+        pf = make_stream()
+        for addr in (1, 2, 3, 4):
+            pf.on_demand_miss(addr)
+        assert pf.issued == 4  # two trained predictions of depth 2
+
+
+class TestStridePrefetcher:
+    def make(self, depth=2, train=2):
+        return StridePrefetcher(PrefetchConfig(enabled=True, depth=depth, train_threshold=train))
+
+    def test_detects_constant_stride(self):
+        pf = self.make()
+        assert pf.on_demand_miss(0) == []
+        assert pf.on_demand_miss(8) == []
+        assert pf.on_demand_miss(16) == [24, 32]
+
+    def test_negative_stride(self):
+        pf = self.make()
+        pf.on_demand_miss(100)
+        pf.on_demand_miss(90)
+        assert pf.on_demand_miss(80) == [70, 60]
+
+    def test_stride_change_retrains(self):
+        pf = self.make()
+        pf.on_demand_miss(0)
+        pf.on_demand_miss(8)
+        pf.on_demand_miss(16)
+        pf.on_demand_miss(17)  # stride broken: confidence restarts at 1
+        # One confirmation of the new stride re-trains the predictor.
+        assert pf.on_demand_miss(18) == [19, 20]
+
+    def test_zero_stride_ignored(self):
+        pf = self.make()
+        pf.on_demand_miss(5)
+        pf.on_demand_miss(5)
+        pf.on_demand_miss(5)
+        assert pf.on_demand_miss(5) == []

@@ -1,0 +1,74 @@
+"""Unit tests for the Goldreich-Ostrovsky square-root ORAM baseline."""
+
+import pytest
+
+from repro.oram.square_root import SquareRootORAM
+from repro.security.observer import AccessObserver
+from repro.utils.rng import DeterministicRng
+
+
+def make_oram(n=64, seed=3, observer=None):
+    return SquareRootORAM(n, rng=DeterministicRng(seed), observer=observer)
+
+
+class TestFunctionality:
+    def test_write_read_roundtrip(self):
+        oram = make_oram()
+        oram.access(5, new_value="hello")
+        assert oram.access(5) == "hello"
+
+    def test_values_survive_reshuffles(self):
+        oram = make_oram(n=25)  # shelter of 5: reshuffles every few accesses
+        for addr in range(25):
+            oram.access(addr, new_value=addr * 10)
+        assert oram.reshuffles > 1
+        for addr in range(25):
+            assert oram.access(addr) == addr * 10
+
+    def test_unwritten_reads_none(self):
+        assert make_oram().access(3) is None
+
+    def test_bounds(self):
+        with pytest.raises(KeyError):
+            make_oram(n=8).access(8)
+        with pytest.raises(ValueError):
+            SquareRootORAM(0)
+
+    def test_shelter_size_is_sqrt(self):
+        assert make_oram(n=64).shelter_size == 8
+        assert make_oram(n=100).shelter_size == 10
+
+
+class TestObliviousness:
+    def test_probed_slots_never_repeat_between_reshuffles(self):
+        observer = AccessObserver()
+        oram = make_oram(n=64, observer=observer)
+        # Hammer one address: every probe must hit a fresh slot anyway.
+        epoch_slots = []
+        reshuffles_before = oram.reshuffles
+        for _ in range(oram.shelter_size - 1):
+            oram.access(7)
+        assert oram.reshuffles == reshuffles_before
+        slots = observer.leaves()
+        assert len(slots) == len(set(slots))
+
+    def test_repeated_vs_distinct_addresses_same_probe_count(self):
+        hammer = make_oram(n=64, seed=5)
+        for _ in range(40):
+            hammer.access(7)
+        spread = make_oram(n=64, seed=5)
+        for addr in range(40):
+            spread.access(addr % 64)
+        assert hammer.server_probes == spread.server_probes
+        assert hammer.accesses == spread.accesses
+
+
+class TestCostModel:
+    def test_far_more_expensive_than_tree_oram(self):
+        # The history lesson: amortized cost per access is much larger than
+        # a Path ORAM path (which touches (L+1) buckets).
+        oram = make_oram(n=256)
+        for addr in range(256):
+            oram.access(addr)
+        # Path ORAM at n=256 would touch ~9 buckets per access.
+        assert oram.probes_per_access() > 30

@@ -1,0 +1,69 @@
+"""Unit tests for the stash occupancy study helpers."""
+
+import pytest
+
+from repro.analysis.stash_study import StashProfile, compare_schemes, stash_occupancy_profile
+from repro.config import CacheConfig, ORAMConfig, SystemConfig
+from repro.workloads.synthetic import sequential_trace
+
+
+def small_config():
+    return SystemConfig(
+        oram=ORAMConfig(levels=8, bucket_size=4, stash_blocks=40, utilization=0.6),
+        l1=CacheConfig(capacity_bytes=2 * 1024, associativity=2),
+        llc=CacheConfig(capacity_bytes=8 * 1024, associativity=8, hit_latency=8),
+    )
+
+
+class TestStashProfile:
+    def make(self):
+        return StashProfile(scheme="x", capacity=10, samples=[0, 2, 4, 6, 8, 10])
+
+    def test_statistics(self):
+        p = self.make()
+        assert p.peak == 10
+        assert p.mean == pytest.approx(5.0)
+        assert p.quantile(0.0) == 0
+        assert p.quantile(1.0) == 10
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            self.make().quantile(1.5)
+
+    def test_histogram(self):
+        p = self.make()
+        counts = p.occupancy_histogram(buckets=5)
+        assert sum(counts) == len(p.samples)
+        assert len(counts) == 5
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            self.make().occupancy_histogram(0)
+
+    def test_empty_profile(self):
+        p = StashProfile(scheme="x", capacity=10)
+        assert p.peak == 0 and p.mean == 0.0 and p.quantile(0.5) == 0
+
+    def test_summary_mentions_scheme(self):
+        assert "x:" in self.make().summary()
+
+
+class TestProfiling:
+    def test_profiles_sample_per_demand_access(self):
+        trace = sequential_trace(footprint_blocks=512, accesses=1500, gap_mean=5)
+        profile = stash_occupancy_profile(trace, "oram", config=small_config())
+        assert len(profile.samples) > 0
+        assert all(0 <= s for s in profile.samples)
+
+    def test_super_blocks_raise_occupancy(self):
+        trace = sequential_trace(footprint_blocks=512, accesses=2500, gap_mean=5)
+        profiles = {
+            p.scheme: p
+            for p in compare_schemes(trace, ("oram", "stat"), config=small_config())
+        }
+        assert profiles["stat"].mean >= profiles["oram"].mean
+
+    def test_dram_rejected(self):
+        trace = sequential_trace(footprint_blocks=128, accesses=100)
+        with pytest.raises(ValueError):
+            stash_occupancy_profile(trace, "dram", config=small_config())

@@ -1,0 +1,52 @@
+"""Unit tests for the ORAM/DRAM latency models."""
+
+import pytest  # noqa: F401 - approx
+
+from repro.config import DRAMConfig, ORAMConfig
+from repro.memory.timing import ORAMTimingModel, dram_access_cycles
+
+
+class TestORAMTiming:
+    def test_table1_path_latency_magnitude(self):
+        """With Table 1 parameters a path access costs ~1350 cycles, and a
+        request averaging ~0.75 PosMap misses lands near the paper's quoted
+        2364-cycle Path ORAM latency."""
+        model = ORAMTimingModel.from_config(ORAMConfig(), DRAMConfig())
+        assert 1200 <= model.path_cycles <= 1500
+        # One demand access plus one recursion access straddles 2364.
+        assert model.access_cycles(1) < 2364 < model.access_cycles(2)
+
+    def test_path_bytes_formula(self):
+        oram = ORAMConfig()
+        model = ORAMTimingModel.from_config(oram, DRAMConfig())
+        levels = oram.nominal_levels
+        assert model.bytes_per_path == (levels + 1) * oram.bucket_size * oram.block_bytes * 2
+
+    def test_latency_scales_with_bandwidth(self):
+        slow = ORAMTimingModel.from_config(ORAMConfig(), DRAMConfig(bandwidth_gbps=4.0))
+        fast = ORAMTimingModel.from_config(ORAMConfig(), DRAMConfig(bandwidth_gbps=16.0))
+        assert slow.path_cycles > 2 * fast.path_cycles
+
+    def test_latency_scales_with_z(self):
+        z3 = ORAMTimingModel.from_config(ORAMConfig(bucket_size=3), DRAMConfig())
+        z4 = ORAMTimingModel.from_config(ORAMConfig(bucket_size=4), DRAMConfig())
+        assert z4.path_cycles > z3.path_cycles
+
+    def test_latency_scales_with_block_size(self):
+        small = ORAMTimingModel.from_config(ORAMConfig(block_bytes=64), DRAMConfig())
+        large = ORAMTimingModel.from_config(ORAMConfig(block_bytes=256), DRAMConfig())
+        # Bigger lines: fewer levels (same capacity) but more bytes per level.
+        assert large.bytes_per_path > small.bytes_per_path
+
+    def test_access_cycles_multiplies(self):
+        model = ORAMTimingModel.from_config(ORAMConfig(), DRAMConfig())
+        assert model.access_cycles(3) == 3 * model.path_cycles
+
+
+class TestDRAMTiming:
+    def test_line_fill(self):
+        # 100-cycle latency + 128 B over 16 B/cycle = 108.
+        assert dram_access_cycles(DRAMConfig(), 128) == 108
+
+    def test_bandwidth_term(self):
+        assert dram_access_cycles(DRAMConfig(bandwidth_gbps=4.0), 128) == 132

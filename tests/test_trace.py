@@ -1,0 +1,61 @@
+"""Unit tests for the trace container and its file format."""
+
+import pytest
+
+from repro.sim.trace import Trace
+
+
+class TestTrace:
+    def test_append_and_iterate(self):
+        trace = Trace("t", footprint_blocks=16)
+        trace.append(5, 3)
+        trace.append(0, 7, is_write=True)
+        assert len(trace) == 2
+        assert list(trace) == [(5, 3, 0), (0, 7, 1)]
+
+    def test_append_validates_footprint(self):
+        trace = Trace("t", footprint_blocks=4)
+        with pytest.raises(ValueError):
+            trace.append(0, 4)
+        with pytest.raises(ValueError):
+            trace.append(0, -1)
+
+    def test_footprint_validation(self):
+        with pytest.raises(ValueError):
+            Trace("t", footprint_blocks=0)
+
+    def test_extend(self):
+        trace = Trace("t", footprint_blocks=8)
+        trace.extend([(1, 2, 0), (3, 4, 1)])
+        assert len(trace) == 2
+
+    def test_metrics(self):
+        trace = Trace("t", footprint_blocks=8)
+        trace.extend([(10, 1, 0), (20, 2, 1), (30, 1, 1)])
+        assert trace.total_gap_cycles == 60
+        assert trace.write_fraction == pytest.approx(2 / 3)
+        assert trace.distinct_blocks() == 2
+
+    def test_empty_metrics(self):
+        trace = Trace("t", footprint_blocks=8)
+        assert trace.write_fraction == 0.0
+        assert trace.total_gap_cycles == 0
+
+
+class TestIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace("myworkload", footprint_blocks=32)
+        trace.extend([(1, 2, 0), (3, 4, 1), (0, 31, 0)])
+        path = str(tmp_path / "trace.txt")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "myworkload"
+        assert loaded.footprint_blocks == 32
+        assert loaded.entries == trace.entries
+
+    def test_load_without_header_infers_footprint(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("1 5 0\n2 9 1\n")
+        loaded = Trace.load(str(path))
+        assert loaded.footprint_blocks == 10
+        assert loaded.entries == [(1, 5, 0), (2, 9, 1)]

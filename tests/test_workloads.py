@@ -1,0 +1,171 @@
+"""Unit tests for the workload/trace generators."""
+
+import pytest
+
+from repro.workloads.base import MixtureWorkload, WorkloadProfile, trace_for
+from repro.workloads.dbms import DBMS_PROFILES, dbms_trace, tpcc_trace, ycsb_trace
+from repro.workloads.spec06 import SPEC06_PROFILES
+from repro.workloads.splash2 import SPLASH2_MISS_RATE_SET, SPLASH2_PROFILES
+from repro.workloads.synthetic import (
+    locality_mix_trace,
+    phase_change_trace,
+    sequential_trace,
+    uniform_random_trace,
+)
+
+
+def sequential_fraction(trace):
+    """Fraction of accesses that continue an ascending run."""
+    seq = sum(
+        1
+        for prev, cur in zip(trace.entries, trace.entries[1:])
+        if cur[1] == prev[1] + 1
+    )
+    return seq / max(1, len(trace) - 1)
+
+
+class TestProfiles:
+    def test_paper_benchmark_rosters(self):
+        assert len(SPLASH2_PROFILES) == 14  # Figure 8a
+        assert len(SPEC06_PROFILES) == 10   # Figure 8b
+        assert len(DBMS_PROFILES) == 2      # Figure 8c
+
+    def test_figure9_set_excludes_water(self):
+        assert "water_ns" not in SPLASH2_MISS_RATE_SET
+        assert "water_s" not in SPLASH2_MISS_RATE_SET
+        assert len(SPLASH2_MISS_RATE_SET) == 12
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "s", footprint_blocks=4, gap_mean=1, seq_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "s", footprint_blocks=1, gap_mean=1, seq_fraction=0.5)
+
+    def test_scaled(self):
+        p = SPLASH2_PROFILES[0].scaled(123)
+        assert p.accesses == 123
+        assert p.name == SPLASH2_PROFILES[0].name
+
+
+class TestMixtureGenerator:
+    def test_respects_footprint_and_length(self):
+        p = WorkloadProfile("t", "s", footprint_blocks=100, gap_mean=5, seq_fraction=0.5)
+        trace = trace_for(p, accesses=500)
+        assert len(trace) == 500
+        assert all(0 <= e[1] < 100 for e in trace.entries)
+
+    def test_seq_fraction_controls_runs(self):
+        low = WorkloadProfile("lo", "s", footprint_blocks=4096, gap_mean=1, seq_fraction=0.05)
+        high = WorkloadProfile("hi", "s", footprint_blocks=4096, gap_mean=1, seq_fraction=0.9, run_len_mean=8)
+        assert sequential_fraction(trace_for(high, 3000)) > 3 * sequential_fraction(
+            trace_for(low, 3000)
+        )
+
+    def test_write_fraction(self):
+        p = WorkloadProfile(
+            "w", "s", footprint_blocks=64, gap_mean=1, seq_fraction=0.0, write_fraction=0.5
+        )
+        trace = trace_for(p, accesses=3000)
+        assert 0.4 < trace.write_fraction < 0.6
+
+    def test_deterministic(self):
+        p = SPLASH2_PROFILES[5]
+        a = MixtureWorkload(p, seed=1).generate(300)
+        b = MixtureWorkload(p, seed=1).generate(300)
+        assert a.entries == b.entries
+
+    def test_seed_changes_trace(self):
+        p = SPLASH2_PROFILES[5]
+        a = MixtureWorkload(p, seed=1).generate(300)
+        b = MixtureWorkload(p, seed=2).generate(300)
+        assert a.entries != b.entries
+
+
+class TestSynthetic:
+    def test_locality_extremes(self):
+        seq = locality_mix_trace(1.0, accesses=2000, footprint_blocks=1024)
+        rand = locality_mix_trace(0.0, accesses=2000, footprint_blocks=1024)
+        assert sequential_fraction(seq) > 0.9
+        assert sequential_fraction(rand) < 0.05
+
+    def test_locality_partitions_address_space(self):
+        trace = locality_mix_trace(0.5, accesses=5000, footprint_blocks=1000)
+        seq_region = [a for _, a, _ in trace.entries if a < 500]
+        rand_region = [a for _, a, _ in trace.entries if a >= 500]
+        assert seq_region and rand_region
+
+    def test_locality_validation(self):
+        with pytest.raises(ValueError):
+            locality_mix_trace(1.5)
+
+    def test_phase_change_alternates_halves(self):
+        trace = phase_change_trace(num_phases=2, accesses=4000, footprint_blocks=1000)
+        half = len(trace) // 2
+        first = trace.entries[:half]
+        second = trace.entries[half:]
+
+        def seq_in(entries, lo, hi):
+            pairs = zip(entries, entries[1:])
+            return sum(1 for p, c in pairs if c[1] == p[1] + 1 and lo <= c[1] < hi)
+
+        # Phase 1 scans the low half; phase 2 scans the high half.
+        assert seq_in(first, 0, 500) > seq_in(first, 500, 1000)
+        assert seq_in(second, 500, 1000) > seq_in(second, 0, 500)
+
+    def test_pure_generators(self):
+        seq = sequential_trace(footprint_blocks=100, accesses=250)
+        assert [e[1] for e in seq.entries[:5]] == [0, 1, 2, 3, 4]
+        rand = uniform_random_trace(footprint_blocks=100, accesses=250)
+        assert len(set(e[1] for e in rand.entries)) > 50
+
+
+class TestDBMS:
+    def test_ycsb_rows_are_aligned_runs(self):
+        trace = ycsb_trace(num_records=64, operations=100)
+        # Row scans appear as ascending runs of 8 starting at multiples of 8.
+        runs = 0
+        entries = trace.entries
+        i = 0
+        while i < len(entries) - 7:
+            base = entries[i][1]
+            if base % 8 == 0 and all(
+                entries[i + k][1] == base + k for k in range(8)
+            ):
+                runs += 1
+                i += 8
+            else:
+                i += 1
+        assert runs >= 90  # almost every operation
+
+    def test_ycsb_contains_index_traffic(self):
+        trace = ycsb_trace(num_records=64, operations=50, row_blocks=8, index_touches=2)
+        data_blocks = 64 * 8
+        index_hits = [e for e in trace.entries if e[1] >= data_blocks]
+        assert len(index_hits) == 100  # 2 per operation
+
+    def test_ycsb_zipf_skews_rows(self):
+        trace = ycsb_trace(num_records=256, operations=400, zipf_theta=0.9)
+        from collections import Counter
+
+        rows = Counter(e[1] // 8 for e in trace.entries if e[1] < 256 * 8)
+        hottest = rows.most_common(1)[0][1]
+        assert hottest > 3 * (sum(rows.values()) / len(rows))
+
+    def test_tpcc_write_heavy(self):
+        trace = tpcc_trace(transactions=200)
+        assert trace.write_fraction > 0.4
+
+    def test_tpcc_within_footprint(self):
+        trace = tpcc_trace(transactions=100)
+        assert all(0 <= e[1] < trace.footprint_blocks for e in trace.entries)
+
+    def test_dbms_trace_dispatch(self):
+        assert dbms_trace("YCSB", accesses=800).name == "YCSB"
+        assert dbms_trace("TPCC", accesses=800).name == "TPCC"
+        with pytest.raises(ValueError):
+            dbms_trace("NOPE")
+
+    def test_dbms_trace_length_scales(self):
+        short = dbms_trace("YCSB", accesses=800)
+        long = dbms_trace("YCSB", accesses=8000)
+        assert len(long) > 5 * len(short)
