@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast examples gallery audit clean
+.PHONY: install test bench bench-fast profile examples gallery audit clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,10 @@ bench:
 
 bench-fast:
 	REPRO_FAST=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+profile:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py
+	PYTHONPATH=src $(PYTHON) -m repro run -w locality:80 -s dyn --accesses 20000 --warmup 0 --profile
 
 examples:
 	$(PYTHON) examples/quickstart.py

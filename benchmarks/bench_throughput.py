@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Simulator throughput benchmark: trace accesses per second.
+
+This benchmark measures how fast the *simulator* runs on the host (not the
+simulated cycle counts): it replays the 80%-locality synthetic workload
+through the full PrORAM system ("dyn") several times, reports the best-of-N
+accesses/sec, compares against the calibrated pre-optimization baseline,
+and writes the result (plus a phase/counter profile from
+:mod:`repro.profiling`) to ``BENCH_throughput.json``.
+
+The timed runs are *bare* -- the profiler's shims add per-call overhead, so
+the phase breakdown comes from one separate profiled run.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py --accesses 2000 -o /tmp/t.json
+
+Baseline note: ``SEED_BASELINE_ACCESSES_PER_SEC`` was calibrated on the
+development machine by running this exact workload ("dyn", 80% locality,
+20,000 accesses, default config) on the pre-optimization tree, interleaved
+in-process with the optimized tree to cancel machine-speed drift.  On a
+different host the *ratio* is only indicative; recalibrate with
+``--baseline`` (accesses/sec of the old tree on that host) for a fair
+comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.profiling import Profiler
+from repro.sim.system import SecureSystem
+from repro.workloads.synthetic import locality_mix_trace
+
+#: Best-of-N accesses/sec of the pre-optimization simulator on the
+#: development machine (see the module docstring for the methodology).
+SEED_BASELINE_ACCESSES_PER_SEC = 16_500.0
+
+#: The workload every throughput number refers to.
+LOCALITY = 0.8
+DEFAULT_ACCESSES = 20_000
+SCHEME = "dyn"
+
+
+def run_once(accesses: int) -> float:
+    """One bare timed run; returns accesses/sec."""
+    trace = locality_mix_trace(LOCALITY, accesses=accesses)
+    system = SecureSystem.build(SCHEME, trace.footprint_blocks)
+    start = time.perf_counter()
+    system.run(trace)
+    return accesses / (time.perf_counter() - start)
+
+
+def profiled_run(accesses: int):
+    """One profiled run for the phase/counter breakdown."""
+    trace = locality_mix_trace(LOCALITY, accesses=accesses)
+    system = SecureSystem.build(SCHEME, trace.footprint_blocks)
+    profiler = Profiler().attach(system)
+    system.run(trace)
+    return profiler.profile
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--accesses", type=int, default=DEFAULT_ACCESSES)
+    parser.add_argument("--repeats", type=int, default=5, help="timed runs (best-of)")
+    parser.add_argument(
+        "--baseline",
+        type=float,
+        default=SEED_BASELINE_ACCESSES_PER_SEC,
+        help="pre-optimization accesses/sec to compare against",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_throughput.json",
+        help="JSON artifact path (default: BENCH_throughput.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.accesses < 1:
+        parser.error("--accesses must be >= 1")
+
+    samples = []
+    for i in range(args.repeats):
+        rate = run_once(args.accesses)
+        samples.append(rate)
+        print(f"run {i + 1}/{args.repeats}: {rate:,.0f} accesses/sec")
+    best = max(samples)
+    # ratio is None (JSON null) rather than NaN when no baseline is given:
+    # json.dump would emit non-standard ``NaN`` otherwise.
+    ratio = best / args.baseline if args.baseline > 0 else None
+    print(f"best: {best:,.0f} accesses/sec")
+    print(f"baseline (pre-optimization): {args.baseline:,.0f} accesses/sec")
+    print(f"speedup: {ratio:.2f}x" if ratio is not None else "speedup: n/a (no baseline)")
+
+    profile = profiled_run(args.accesses)
+    print()
+    print(profile.report())
+
+    artifact = {
+        "workload": f"locality_{int(LOCALITY * 100)}",
+        "scheme": SCHEME,
+        "accesses": args.accesses,
+        "repeats": args.repeats,
+        "samples_accesses_per_sec": samples,
+        "best_accesses_per_sec": best,
+        "baseline_accesses_per_sec": args.baseline,
+        "speedup_vs_baseline": ratio,
+        "profile": profile.to_json() if profile is not None else None,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,7 @@ def run_schemes(
     policy_factory=None,
     static_sbsize: Optional[int] = None,
     warmup_fraction: float = 0.0,
+    system_hook=None,
 ) -> Dict[str, SimResult]:
     """Run one trace through each scheme on a fresh system.
 
@@ -66,6 +67,9 @@ def run_schemes(
         warmup_fraction: leading fraction of the trace simulated but not
             measured (steady-state comparison; see
             :meth:`SecureSystem.run`).
+        system_hook: optional ``(scheme, system)`` callable invoked after
+            each system is built and before it runs -- the CLI uses this to
+            attach a :class:`repro.profiling.Profiler` per scheme.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup fraction must be in [0, 1)")
@@ -82,6 +86,8 @@ def run_schemes(
             policy=policy,
             static_sbsize=static_sbsize,
         )
+        if system_hook is not None:
+            system_hook(scheme, system)
         results[scheme] = system.run(trace, warmup_entries=warmup_entries)
     return results
 

@@ -44,6 +44,14 @@ class CacheHierarchy:
         #: called as (addr, dirty) for every line leaving the LLC
         self.victim_callback = victim_callback
         self.llc_hits_on_prefetch_path = 0
+        # Access outcomes are value objects with config-constant latencies;
+        # reusing three shared instances avoids one allocation per
+        # processor access.  Callers treat them as read-only.
+        self._l1_outcome = HierarchyAccess("l1", l1_config.hit_latency)
+        self._llc_outcome = HierarchyAccess(
+            "llc", l1_config.hit_latency + llc_config.hit_latency
+        )
+        self._miss_outcome = HierarchyAccess("miss", 0)
 
     # ----------------------------------------------------------------- access
     def access(self, addr: int, is_write: bool) -> HierarchyAccess:
@@ -59,13 +67,11 @@ class CacheHierarchy:
                 # bookkeeping simple (the LLC is the point of coherence with
                 # the ORAM domain).
                 self.llc.mark_dirty(addr)
-            return HierarchyAccess("l1", self.l1.config.hit_latency)
+            return self._l1_outcome
         if self.llc.lookup(addr, is_write):
             self._promote_to_l1(addr)
-            return HierarchyAccess(
-                "llc", self.l1.config.hit_latency + self.llc.config.hit_latency
-            )
-        return HierarchyAccess("miss", 0)
+            return self._llc_outcome
+        return self._miss_outcome
 
     def _promote_to_l1(self, addr: int) -> None:
         victim = self.l1.insert(addr, dirty=False)

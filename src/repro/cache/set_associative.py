@@ -20,7 +20,7 @@ from typing import List, Optional
 from repro.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class EvictedLine:
     """A victim pushed out of a cache set."""
 
@@ -47,12 +47,14 @@ class SetAssociativeCache:
         self.probe_count = 0
 
     def _set_for(self, addr: int) -> "OrderedDict[int, bool]":
+        # Kept for tests/introspection; the access methods below inline the
+        # index arithmetic (they are called millions of times per run).
         return self._sets[addr % self._num_sets]
 
     # ----------------------------------------------------------------- access
     def lookup(self, addr: int, is_write: bool = False) -> bool:
         """Demand access: True on hit.  Updates LRU order and dirty state."""
-        cache_set = self._set_for(addr)
+        cache_set = self._sets[addr % self._num_sets]
         if addr in cache_set:
             cache_set.move_to_end(addr)
             if is_write:
@@ -65,19 +67,25 @@ class SetAssociativeCache:
     def contains(self, addr: int) -> bool:
         """Tag probe: presence check with no replacement side effects."""
         self.probe_count += 1
-        return addr in self._set_for(addr)
+        return addr in self._sets[addr % self._num_sets]
 
     def insert(self, addr: int, dirty: bool = False, at_mru: bool = True) -> Optional[EvictedLine]:
         """Fill a line, evicting the LRU victim of the set if necessary.
 
-        Returns the victim (None when the set had room).  Inserting an
-        already-present line just refreshes its state.
+        ``at_mru`` selects the replacement-priority position the line ends
+        up in, whether or not it was already present: ``True`` installs or
+        promotes the line at the MRU end (demand fills), ``False`` installs
+        or demotes it at the LRU end (low-priority fills that should be the
+        set's next victim).  An already-present line keeps its dirty state
+        (OR-ed with ``dirty``), only its position moves.
+
+        Returns the victim (None when the set had room or the line was
+        already present).
         """
-        cache_set = self._set_for(addr)
+        cache_set = self._sets[addr % self._num_sets]
         if addr in cache_set:
             cache_set[addr] = cache_set[addr] or dirty
-            if at_mru:
-                cache_set.move_to_end(addr)
+            cache_set.move_to_end(addr, last=at_mru)
             return None
         victim: Optional[EvictedLine] = None
         if len(cache_set) >= self._assoc:
@@ -91,14 +99,14 @@ class SetAssociativeCache:
 
     def invalidate(self, addr: int) -> Optional[EvictedLine]:
         """Remove a line (inclusive-hierarchy back-invalidation)."""
-        cache_set = self._set_for(addr)
+        cache_set = self._sets[addr % self._num_sets]
         if addr in cache_set:
             dirty = cache_set.pop(addr)
             return EvictedLine(addr, dirty)
         return None
 
     def mark_dirty(self, addr: int) -> None:
-        cache_set = self._set_for(addr)
+        cache_set = self._sets[addr % self._num_sets]
         if addr in cache_set:
             cache_set[addr] = True
 

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from repro.analysis.experiments import experiment_config, run_schemes
 from repro.analysis.tables import format_table
+from repro.profiling import Profiler
 from repro.security.observer import AccessObserver
 from repro.security.statistics import chi_square_uniformity, lag_autocorrelation
 from repro.sim.system import SecureSystem
@@ -85,8 +86,17 @@ def cmd_run(args) -> int:
         f"{trace.name}: {len(trace)} references over {trace.footprint_blocks} "
         f"blocks ({trace.write_fraction:.0%} writes)"
     )
+    profilers = {}
+    system_hook = None
+    if getattr(args, "profile", False):
+        def system_hook(scheme, system):
+            profilers[scheme] = Profiler().attach(system)
     results = run_schemes(
-        trace, schemes, config=experiment_config(), warmup_fraction=args.warmup
+        trace,
+        schemes,
+        config=experiment_config(),
+        warmup_fraction=args.warmup,
+        system_hook=system_hook,
     )
     baseline = results.get("oram") or next(iter(results.values()))
     rows = []
@@ -110,6 +120,11 @@ def cmd_run(args) -> int:
             rows,
         )
     )
+    for scheme in schemes:
+        profiler = profilers.get(scheme)
+        if profiler is not None and profiler.profile is not None:
+            print()
+            print(profiler.profile.report())
     return 0
 
 
@@ -194,6 +209,12 @@ def make_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one workload through schemes")
     common(run_p)
     run_p.add_argument("-s", "--schemes", default="oram,stat,dyn")
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="report simulator throughput (accesses/sec, phase timers, "
+        "component counters) per scheme",
+    )
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="parameter sweeps (locality/stash/z)")

@@ -46,7 +46,7 @@ from repro.core import counters
 from repro.core.thresholds import StaticThresholdPolicy, ThresholdPolicy
 from repro.oram.block import Block
 from repro.oram.super_block import FetchOutcome, SuperBlockScheme
-from repro.utils.bitops import group_base, is_power_of_two
+from repro.utils.bitops import is_power_of_two
 
 
 class DynamicSuperBlockScheme(SuperBlockScheme):
@@ -87,13 +87,22 @@ class DynamicSuperBlockScheme(SuperBlockScheme):
         # One co-residence bit per basic block: "this LLC residency saw the
         # neighbor group resident at the same time" (see module docstring).
         self._coresident = bytearray(oram.position_map.num_blocks)
+        # Direct handles for the width-2 counter fast paths below (none of
+        # these arrays is ever reallocated by its owner).
+        self._posmap = oram.position_map
+        self._merge_bits = oram.position_map._merge_bits
+        self._break_bits = oram.position_map._break_bits
+        self._pf_bits = self._tracker._prefetch_bits
+        self._hit_bits = self._tracker._hit_bits
 
     def threshold_listener(self):
         return self.policy
 
     # ------------------------------------------------------------ membership
     def members_for(self, addr: int) -> List[int]:
-        base, size = self.oram.position_map.super_block_of(addr, self.max_sbsize)
+        base, size = self._posmap.super_block_of(addr, self.max_sbsize)
+        if size == 1:
+            return [base]
         return list(range(base, base + size))
 
     # ------------------------------------------------------------- main hook
@@ -103,8 +112,9 @@ class DynamicSuperBlockScheme(SuperBlockScheme):
         outcome = FetchOutcome()
         base = members[0]
         size = len(members)
+        coresident = self._coresident
         for addr in fetched:
-            self._coresident[addr] = 0  # fresh LLC residency starts now
+            coresident[addr] = 0  # fresh LLC residency starts now
         if size > 1:
             broke = self._run_break(demand, base, size, fetched, outcome)
             if broke:
@@ -116,9 +126,11 @@ class DynamicSuperBlockScheme(SuperBlockScheme):
             # A singleton arriving from the ORAM may carry a stale pending
             # prefetch bit (it was prefetched, evicted unused, and its super
             # block broke apart since).  Consume it so the bit does not
-            # corrupt a future counter reconstruction.
-            self.tracker.consume_bits(demand)
-        self._run_merge(group_base(demand, size), size)
+            # corrupt a future counter reconstruction (consume_bits inlined:
+            # only its prefetch-bit clear has an effect here).
+            self._pf_bits[demand] = 0
+        # group_base(demand, size) inlined: sizes are validated powers of two.
+        self._run_merge(demand & ~(size - 1), size)
         return outcome
 
     # ------------------------------------------------------------- Algorithm 2
@@ -131,16 +143,28 @@ class DynamicSuperBlockScheme(SuperBlockScheme):
         outcome: FetchOutcome,
     ) -> bool:
         """Break algorithm; returns True if the super block was broken."""
-        posmap = self.oram.position_map
-        # Reconstruct the break counter from the super block's break bits.
-        raw = counters.bits_to_value(posmap.break_bits(base, size))
-        # Update with the prefetch/hit evidence of blocks coming from ORAM.
-        for addr in fetched:
-            prefetch, hit = self.tracker.consume_bits(addr)
-            if prefetch and not hit:
-                raw -= 1
-            elif prefetch and hit:
-                raw += 1
+        posmap = self._posmap
+        # Reconstruct the break counter from the super block's break bits,
+        # then update it with the prefetch/hit evidence of blocks coming
+        # from ORAM.  Pairs (every call at the default max size) read the
+        # two bits and consume the evidence with direct array indexing.
+        if size == 2:
+            bb = self._break_bits
+            raw = (bb[base] << 1) | bb[base + 1]
+            pf = self._pf_bits
+            hits = self._hit_bits
+            for addr in fetched:
+                if pf[addr]:
+                    pf[addr] = 0
+                    raw += 1 if hits[addr] else -1
+        else:
+            raw = counters.bits_to_value(posmap.break_bits_raw(base, size))
+            for addr in fetched:
+                prefetch, hit = self.tracker.consume_bits(addr)
+                if prefetch and not hit:
+                    raw -= 1
+                elif prefetch and hit:
+                    raw += 1
         threshold = self.policy.break_threshold(size)
         half = size // 2
         demand_in_low = demand < base + half
@@ -182,8 +206,13 @@ class DynamicSuperBlockScheme(SuperBlockScheme):
             return True
         # ---- keep the super block: store the updated counter and mark the
         # prefetched half pending ("b.prefetch = true; b.hit = false").
-        stored = counters.saturate(raw, size)
-        posmap.set_break_bits(base, counters.value_to_bits(stored, size))
+        if size == 2:
+            stored = 0 if raw < 0 else (3 if raw > 3 else raw)
+            bb[base] = stored >> 1
+            bb[base + 1] = stored & 1
+        else:
+            stored = counters.saturate(raw, size)
+            posmap.set_break_bits(base, counters.value_to_bits(stored, size))
         for addr in range(base, base + size):
             if addr not in fetched:
                 continue
@@ -200,8 +229,35 @@ class DynamicSuperBlockScheme(SuperBlockScheme):
         result_size = size * 2
         if result_size > self.max_sbsize:
             return
-        posmap = self.oram.position_map
-        combined_base = group_base(base, result_size)
+        posmap = self._posmap
+        if size == 1:
+            # Singleton fast path (every merge audition at the default
+            # max_sbsize of 2): the neighbor is one block, the counter is the
+            # two merge bits of the aligned pair -- read and write them
+            # directly instead of slicing/boxing through the codec.
+            cb = base & ~1
+            if cb + 2 > posmap.num_blocks:
+                return
+            neighbor = cb if cb != base else base + 1
+            m = self._merge_bits
+            value = (m[cb] << 1) | m[cb + 1]
+            if self._llc_contains(neighbor):
+                coresident = self._coresident
+                coresident[cb] = 1
+                coresident[cb + 1] = 1
+                if value < 3:
+                    value += 1
+                if value >= self.policy.merge_threshold(2):
+                    self._merge(base, neighbor, 1, cb, 2)
+                    return
+                m[cb] = value >> 1
+                m[cb + 1] = value & 1
+            elif self.literal_merge_decrement and value:
+                value -= 1
+                m[cb] = value >> 1
+                m[cb + 1] = value & 1
+            return
+        combined_base = base & ~(result_size - 1)  # group_base inlined
         if combined_base + result_size > posmap.num_blocks:
             return  # neighbor group extends past the address space
         neighbor_base = combined_base if combined_base != base else base + size
@@ -218,8 +274,16 @@ class DynamicSuperBlockScheme(SuperBlockScheme):
             # the neighbor merges at its own granularity.
             return
         width = counters.merge_counter_width(size)
-        value = counters.bits_to_value(posmap.merge_bits(combined_base, result_size))
-        if all(self._llc_contains(addr) for addr in neighbor):
+        value = counters.bits_to_value(
+            posmap.merge_bits_raw(combined_base, result_size)
+        )
+        llc_contains = self._llc_contains
+        coresident = True
+        for addr in neighbor:
+            if not llc_contains(addr):
+                coresident = False
+                break
+        if coresident:
             # Locality observed: B and B' are co-resident.  Flag every
             # member of both groups so their evictions do not count against
             # the pair (module docstring).
@@ -246,16 +310,36 @@ class DynamicSuperBlockScheme(SuperBlockScheme):
             # Residency observed its neighbor; no evidence against the pair.
             self._coresident[addr] = 0
             return
-        posmap = self.oram.position_map
+        posmap = self._posmap
         base, size = posmap.super_block_of(addr, self.max_sbsize)
         result_size = size * 2
         if result_size > self.max_sbsize:
             return  # already at the maximum size; no next-level counter
-        combined_base = group_base(base, result_size)
+        combined_base = base & ~(result_size - 1)  # group_base inlined
         if combined_base + result_size > posmap.num_blocks:
             return
+        if size == 1:
+            # Mirror of the singleton fast path in :meth:`_run_merge`: the
+            # pair counter is the two merge bits at the aligned base, and a
+            # counter already at zero saturates in place.
+            m = self._merge_bits
+            value = (m[combined_base] << 1) | m[combined_base + 1]
+            if value:
+                value -= 1
+                m[combined_base] = value >> 1
+                m[combined_base + 1] = value & 1
+            return
+        neighbor_base = combined_base if combined_base != base else base + size
+        if size > 1 and not posmap.group_is_super_block(neighbor_base, size):
+            # Same guard as :meth:`_run_merge`: while the neighbor group is
+            # not itself a super block, the pair (B, B') has no next-level
+            # merge counter to judge -- the merge path skips such pairs, so
+            # the eviction path must not decrement them either.
+            return
         width = counters.merge_counter_width(size)
-        value = counters.bits_to_value(posmap.merge_bits(combined_base, result_size))
+        value = counters.bits_to_value(
+            posmap.merge_bits_raw(combined_base, result_size)
+        )
         value = counters.saturate(value - 1, width)
         posmap.set_merge_bits(combined_base, counters.value_to_bits(value, width))
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class DemandResult:
     """Outcome of a demand miss.
 

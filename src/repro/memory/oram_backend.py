@@ -65,9 +65,15 @@ class ORAMBackend(MemoryBackend):
         )
         self._llc_contains: Callable[[int], bool] = lambda addr: False
         scheme.attach(self.oram, self._probe_llc)
+        # attach() just re-bound the scheme's on_llc_hit to the tracker;
+        # re-export it so the system's hit loop calls the tracker directly.
+        self.on_llc_hit = scheme.on_llc_hit
         scheme.initialize()
         self.oram.populate()
         self._last_request_cycle = 0
+        # The threshold listener never changes after construction; caching
+        # it avoids a per-access virtual call in _perform_access.
+        self._policy_listener = scheme.threshold_listener()
         #: optional callback(occupancy) sampled after every demand access
         #: (the stash-occupancy study hooks in here)
         self.stash_sampler: Optional[Callable[[int], None]] = None
@@ -77,6 +83,10 @@ class ORAMBackend(MemoryBackend):
         """Install the LLC tag-probe callback (the system wires this after
         building the cache hierarchy)."""
         self._llc_contains = probe
+        # Flatten the probe chain for the scheme too: it was attached with
+        # the _probe_llc indirection only because the hierarchy did not
+        # exist yet.
+        self.scheme.set_llc_probe(probe)
 
     def _probe_llc(self, addr: int) -> bool:
         return self._llc_contains(addr)
@@ -99,30 +109,40 @@ class ORAMBackend(MemoryBackend):
 
         Returns (completion_cycle, FetchOutcome-or-None).
         """
-        evictions = self.oram.drain_stash()
-        self.stats.dummy_accesses += evictions
+        oram = self.oram
+        stats = self.stats
+        scheme = self.scheme
+        evictions = oram.drain_stash()
+        stats.dummy_accesses += evictions
         extra = self.posmap_hierarchy.lookup(addr)
-        self.stats.posmap_accesses += extra
-        members = self.scheme.members_for(addr)
-        blocks = self.oram.begin_access(members)
+        stats.posmap_accesses += extra
+        members = scheme.members_for(addr)
+        blocks = oram.begin_access(members)
         outcome = None
         if run_scheme:
             # Members whose copies are already LLC-resident are not "coming
-            # from ORAM" for the scheme's purposes (Algorithm 2).
-            fetched = {
-                member: blocks[member]
-                for member in members
-                if not self._llc_contains(member)
-            }
-            outcome = self.scheme.process_fetch(addr, members, fetched)
-        self.oram.finish_access()
+            # from ORAM" for the scheme's purposes (Algorithm 2).  The
+            # singleton case (most accesses) skips the comprehension frame.
+            llc_contains = self._llc_contains
+            if len(members) == 1:
+                member = members[0]
+                fetched = {} if llc_contains(member) else {member: blocks[member]}
+            else:
+                fetched = {
+                    member: blocks[member]
+                    for member in members
+                    if not llc_contains(member)
+                }
+            outcome = scheme.process_fetch(addr, members, fetched)
+        oram.finish_access()
         path_accesses = evictions + extra + 1
-        latency = self.timing.access_cycles(path_accesses)
+        # timing.access_cycles inlined: a constant multiply per access.
+        latency = path_accesses * self.timing.path_cycles
         completion = start + latency
         self.busy_until = completion
-        self.stats.memory_accesses += extra + 1
-        self.stats.busy_cycles += latency
-        policy = self.scheme.threshold_listener()
+        stats.memory_accesses += extra + 1
+        stats.busy_cycles += latency
+        policy = self._policy_listener
         if policy is not None:
             if evictions:
                 policy.on_background_eviction(evictions)
@@ -133,13 +153,18 @@ class ORAMBackend(MemoryBackend):
 
     # ----------------------------------------------------------------- access
     def demand_access(self, addr: int, now: int, is_write: bool) -> DemandResult:
-        self._check_addr(addr)
+        # _check_addr inlined (one call per LLC miss).
+        if not 0 <= addr < self.oram.position_map.num_blocks:
+            raise ValueError(
+                f"address {addr} outside the ORAM's "
+                f"{self.oram.position_map.num_blocks} blocks"
+            )
         self.stats.demand_requests += 1
         start = max(now, self.busy_until)
         completion, outcome = self._perform_access(addr, start, run_scheme=True)
         if self.stash_sampler is not None:
             self.stash_sampler(len(self.oram.stash))
-        return DemandResult(completion_cycle=completion, filled=outcome.to_llc)
+        return DemandResult(completion, outcome.to_llc)
 
     def prefetch_access(self, addr: int, now: int) -> Optional[DemandResult]:
         """Traditional prefetching on ORAM (the section 5.2 experiment).
@@ -163,7 +188,7 @@ class ORAMBackend(MemoryBackend):
         for member_addr, _ in outcome.to_llc:
             self.scheme.tracker.mark_prefetched(member_addr)
         filled = [(member_addr, True) for member_addr, _ in outcome.to_llc]
-        return DemandResult(completion_cycle=completion, filled=filled)
+        return DemandResult(completion, filled)
 
     # ----------------------------------------------------------- cache events
     def evict_line(self, addr: int, dirty: bool, now: int) -> None:

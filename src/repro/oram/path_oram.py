@@ -26,6 +26,7 @@ references across later accesses.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import ORAMConfig
@@ -33,8 +34,9 @@ from repro.oram.block import Block
 from repro.oram.position_map import PositionMap
 from repro.oram.stash import Stash
 from repro.oram.tree import BinaryTree
-from repro.utils.bitops import common_prefix_length
 from repro.utils.rng import DeterministicRng
+
+_LEAF_OF = attrgetter("leaf")
 
 
 class PathORAM:
@@ -80,6 +82,33 @@ class PathORAM:
         self.stash_soft_overflows = 0
         self._populated = False
         self._pending_writeback: Optional[int] = None
+        # Scratch depth buckets reused by every _evict_path call (allocating
+        # levels+1 lists per access showed up in profiles).  Entries are
+        # always left empty between calls.
+        self._depth_buckets: List[List[Block]] = [
+            [] for _ in range(config.levels + 1)
+        ]
+        self._depth_appends = [bucket.append for bucket in self._depth_buckets]
+        # Depth of a block on the path to leaf s is a pure function of
+        # (block.leaf XOR s): levels minus the xor's bit length.  For trees
+        # up to 2**20 leaves (1 MB) the whole function is precomputed as a
+        # byte table, turning the per-block arithmetic of the eviction inner
+        # loop into one indexed load.
+        # Skip the per-access calls to the (empty) path hooks unless a
+        # subclass actually overrides them (the integrity ORAM does).
+        cls = type(self)
+        self._hooks_active = (
+            cls._before_path_read is not PathORAM._before_path_read
+            or cls._after_path_write is not PathORAM._after_path_write
+        )
+        if config.num_leaves <= (1 << 20):
+            levels = config.levels
+            self._depth_of_xor: Optional[bytes] = bytes(
+                levels if d == 0 else levels - d.bit_length()
+                for d in range(config.num_leaves)
+            )
+        else:
+            self._depth_of_xor = None
         if populate:
             self.populate()
 
@@ -138,27 +167,40 @@ class PathORAM:
         """
         if not addrs:
             raise ValueError("access needs at least one address")
-        leaf = self.position_map.leaf(addrs[0])
-        for addr in addrs[1:]:
-            if self.position_map.leaf(addr) != leaf:
-                raise ValueError(
-                    "super block invariant violated: members mapped to different leaves"
-                )
+        posmap = self.position_map
+        leaf = posmap.leaf(addrs[0])
+        if len(addrs) > 1:
+            for addr in addrs[1:]:
+                if posmap.leaf(addr) != leaf:
+                    raise ValueError(
+                        "super block invariant violated: members mapped to different leaves"
+                    )
         if self._pending_writeback is not None:
             raise RuntimeError("previous access not finished")
         self.real_accesses += 1
         if self.observer is not None:
             self.observer.on_path_access(leaf, "real")
-        # Step 2: read the whole path into the stash.
-        self._before_path_read(leaf)
-        self.stash.add_all(self.tree.read_path(leaf))
+        # Step 2: read the whole path into the stash (stash.absorb_path
+        # inlined -- this runs once per access).
+        if self._hooks_active:
+            self._before_path_read(leaf)
+        stash = self.stash
+        store = stash._blocks
+        before = len(store)
+        moved = self.tree.read_path_into(leaf, store)
+        after = len(store)
+        if after != before + moved:
+            raise ValueError("duplicate block in stash (path/stash overlap)")
+        if after > stash.max_occupancy:
+            stash.max_occupancy = after
         # Step 4: remap every member to one fresh random leaf.  (Step 3,
         # returning the block, happens below -- the order does not matter
         # functionally and the remap must cover members still in the stash.)
-        assigned = self.position_map.remap(addrs, new_leaf)
+        assigned = posmap.remap(addrs, new_leaf)
+        peek = store.get
         fetched: Dict[int, Block] = {}
         for addr in addrs:
-            block = self.stash.peek(addr)
+            block = peek(addr)
             if block is None:
                 raise KeyError(f"block {addr} in neither tree nor stash")
             block.leaf = assigned
@@ -173,7 +215,8 @@ class PathORAM:
         leaf = self._pending_writeback
         self._pending_writeback = None
         self._evict_path(leaf)
-        self._after_path_write(leaf)
+        if self._hooks_active:
+            self._after_path_write(leaf)
 
     def access(self, addrs: Sequence[int], new_leaf: Optional[int] = None) -> Dict[int, Block]:
         """One complete ORAM access (begin + finish, no scheme hook)."""
@@ -205,14 +248,27 @@ class PathORAM:
         stash occupancy cannot increase, and blocks already in the stash
         may find room on the path.
         """
-        leaf = self.rng.random_leaf(self.config.num_leaves)
+        leaf = self.rng.randbelow(self.config.num_leaves)
         self.dummy_accesses += 1
         if self.observer is not None:
             self.observer.on_path_access(leaf, kind)
-        self._before_path_read(leaf)
-        self.stash.add_all(self.tree.read_path(leaf))
+        if self._hooks_active:
+            self._before_path_read(leaf)
+        # stash.absorb_path inlined (as in begin_access); the watermark
+        # cannot rise here -- a dummy access never adds net blocks, and the
+        # eviction below runs before the next occupancy reading -- but the
+        # duplicate check is kept: it guards the same invariant.
+        stash = self.stash
+        store = stash._blocks
+        before = len(store)
+        moved = self.tree.read_path_into(leaf, store)
+        if len(store) != before + moved:
+            raise ValueError("duplicate block in stash (path/stash overlap)")
+        if len(store) > stash.max_occupancy:
+            stash.max_occupancy = len(store)
         self._evict_path(leaf)
-        self._after_path_write(leaf)
+        if self._hooks_active:
+            self._after_path_write(leaf)
 
     def drain_stash(self) -> int:
         """Issue background evictions until the stash is within capacity.
@@ -222,7 +278,11 @@ class PathORAM:
         (section 2.4).
         """
         evictions = 0
-        while self.stash.over_capacity():
+        # stash.over_capacity() inlined: this check runs before every real
+        # request and is almost always False.
+        blocks = self.stash._blocks
+        capacity = self.stash.capacity
+        while len(blocks) > capacity:
             if evictions >= self.MAX_EVICTIONS_PER_DRAIN:
                 self.stash_soft_overflows += 1
                 break
@@ -245,33 +305,76 @@ class PathORAM:
         this path -- the length of the common prefix of its mapped leaf and
         ``leaf``.  Buckets are filled deepest-first; blocks that do not fit
         remain in the stash.
+
+        Implementation: blocks are bucketed by eligible depth in one O(S)
+        pass (replacing an O(S log S) sort) and consumed deepest-bucket
+        first, preserving stash insertion order within each depth -- the
+        exact consumption order the previous stable sort produced, so the
+        resulting tree state is bit-identical.
         """
         levels = self.config.levels
         z = self.config.bucket_size
-        # Sort stash blocks by eligible depth, deepest first.
-        scored = sorted(
-            (
-                (common_prefix_length(block.leaf, leaf, levels), block)
-                for block in self.stash.iter_blocks()
-            ),
-            key=lambda pair: pair[0],
-            reverse=True,
-        )
-        position = 0
-        total = len(scored)
+        tree = self.tree
+        path = tree._path_cache.get(leaf)
+        if path is None:
+            path = tree.path_indices(leaf)
+        # One pass: bucket stash blocks by common-prefix depth.  The depth
+        # arithmetic is bitops.common_prefix_length inlined (the call
+        # dominated the old profile at ~35 invocations per access), the
+        # depth-bucket lists (and their pre-bound ``append`` methods) are
+        # reused scratch space, and for small trees the xor->depth function
+        # is a precomputed byte table.
+        by_depth = self._depth_buckets
+        appends = self._depth_appends
+        table = self._depth_of_xor
+        stash_blocks = self.stash._blocks
+        if table is not None:
+            # The xor and the table lookup run entirely in C (two map
+            # stages over one pass of the stash, zipped with a second
+            # iterator over the same dict view for the block objects).
+            depths = map(
+                table.__getitem__,
+                map(leaf.__xor__, map(_LEAF_OF, stash_blocks.values())),
+            )
+            for depth, block in zip(depths, stash_blocks.values()):
+                appends[depth](block)
+        else:
+            for block in stash_blocks.values():
+                differing = block.leaf ^ leaf
+                appends[
+                    levels if differing == 0 else levels - differing.bit_length()
+                ](block)
+        # Consume deepest-bucket first.  ``flat`` grows one depth bucket per
+        # level, so before filling level L it holds exactly the blocks with
+        # score >= L in consumption order (score descending, stash insertion
+        # order within a score); each bucket then takes the next <= Z blocks
+        # by slicing -- no per-block Python loop.  Bucket lists are written
+        # into the tree storage directly: ``placed`` never exceeds ``z`` by
+        # construction, so the write_bucket_at overflow check is redundant
+        # here and skipped (this is the single hottest loop of the
+        # simulator).  Every eviction immediately follows a read of the same
+        # path (begin/finish_access and dummy_access both read first), so
+        # the path buckets are empty on entry and levels that place nothing
+        # need no write at all.
+        buckets = tree._buckets
+        flat: List[Block] = []
+        total = 0  # blocks accumulated into ``flat``
+        pos = 0  # blocks of ``flat`` already placed
         for level in range(levels, -1, -1):
-            placed: List[Block] = []
-            while position < total and len(placed) < z and scored[position][0] >= level:
-                placed.append(scored[position][1])
-                position += 1
-            self.tree.write_bucket(level, leaf, placed)
-            for block in placed:
-                self.stash.pop(block.addr)
-            if position >= total:
-                # Remaining buckets on the path stay empty (all-dummy).
-                for rest in range(level - 1, -1, -1):
-                    self.tree.write_bucket(rest, leaf, [])
-                break
+            depth_bucket = by_depth[level]
+            if depth_bucket:
+                flat.extend(depth_bucket)
+                total += len(depth_bucket)
+                del depth_bucket[:]  # leave the scratch space empty
+            if total > pos:
+                take = total - pos
+                if take > z:
+                    take = z
+                buckets[path[level]] = flat[pos : pos + take]
+                pos += take
+        # stash.remove_all inlined: drop the placed blocks from the stash.
+        for block in flat[:pos]:
+            del stash_blocks[block.addr]
 
     # ------------------------------------------------------------- invariants
     def check_invariants(self) -> None:

@@ -19,10 +19,11 @@ accesses at PosMap-block granularity using :meth:`PositionMap.block_id`.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.utils.bitops import group_base, is_power_of_two
+from repro.utils.bitops import is_power_of_two
 from repro.utils.rng import DeterministicRng
 
 
@@ -62,7 +63,11 @@ class PositionMap:
         self.num_leaves = num_leaves
         self.entries_per_block = entries_per_block
         self._rng = rng
-        self._leaves: List[int] = [rng.random_leaf(num_leaves) for _ in range(num_blocks)]
+        self._randbelow = rng.randbelow  # flattened leaf draw (hot path)
+        # Compact typed storage: one machine word per entry instead of a
+        # list of boxed ints, and C-speed slice comparisons for the leaf
+        # equality scans below.
+        self._leaves = array("q", (rng.random_leaf(num_leaves) for _ in range(num_blocks)))
         self._merge_bits = bytearray(num_blocks)
         self._break_bits = bytearray(num_blocks)
         self._prefetch_bits = bytearray(num_blocks)
@@ -77,7 +82,7 @@ class PositionMap:
 
     def new_random_leaf(self) -> int:
         """Fresh uniformly random leaf label (protocol step 4)."""
-        return self._rng.random_leaf(self.num_leaves)
+        return self._randbelow(self.num_leaves)
 
     def remap(self, addrs, leaf: Optional[int] = None) -> int:
         """Map every address in ``addrs`` to one (new random) leaf.
@@ -87,7 +92,7 @@ class PositionMap:
         Returns the leaf used.
         """
         if leaf is None:
-            leaf = self.new_random_leaf()
+            leaf = self._randbelow(self.num_leaves)
         for addr in addrs:
             self._leaves[addr] = leaf
         return leaf
@@ -113,19 +118,29 @@ class PositionMap:
 
     def merge_bits(self, base: int, size: int) -> List[int]:
         """Merge bits of the aligned group ``[base, base+size)``, low address first."""
-        return [self._merge_bits[a] for a in range(base, base + size)]
+        return list(self._merge_bits[base : base + size])
+
+    def merge_bits_raw(self, base: int, size: int) -> bytearray:
+        """Like :meth:`merge_bits` but returns the raw byte slice.
+
+        Hot-path variant for counter reconstruction: skips boxing the bits
+        into a list.  Callers must treat the result as read-only.
+        """
+        return self._merge_bits[base : base + size]
 
     def set_merge_bits(self, base: int, bits: List[int]) -> None:
-        for offset, bit in enumerate(bits):
-            self._merge_bits[base + offset] = 1 if bit else 0
+        self._merge_bits[base : base + len(bits)] = bytes(bits)
 
     def break_bits(self, base: int, size: int) -> List[int]:
         """Break bits of the aligned group ``[base, base+size)``, low address first."""
-        return [self._break_bits[a] for a in range(base, base + size)]
+        return list(self._break_bits[base : base + size])
+
+    def break_bits_raw(self, base: int, size: int) -> bytearray:
+        """Raw-slice variant of :meth:`break_bits` (see :meth:`merge_bits_raw`)."""
+        return self._break_bits[base : base + size]
 
     def set_break_bits(self, base: int, bits: List[int]) -> None:
-        for offset, bit in enumerate(bits):
-            self._break_bits[base + offset] = 1 if bit else 0
+        self._break_bits[base : base + len(bits)] = bytes(bits)
 
     # --------------------------------------------------------- PosMap blocks
     def block_id(self, addr: int) -> int:
@@ -161,18 +176,31 @@ class PositionMap:
             is merged.
         """
         size = min(max_size, self.entries_per_block)
-        while size > 1:
-            base = group_base(addr, size)
-            if base + size <= self.num_blocks:
-                first = self._leaves[base]
-                if all(self._leaves[a] == first for a in range(base + 1, base + size)):
-                    return base, size
+        leaves = self._leaves
+        num_blocks = self.num_blocks
+        while size > 2:
+            # group_base(addr, size) inlined; ``size`` stays a power of two.
+            base = addr & ~(size - 1)
+            end = base + size
+            # All-equal <=> the slice equals itself shifted by one entry
+            # (a single C-level comparison instead of a Python loop).
+            if end <= num_blocks and leaves[base : end - 1] == leaves[base + 1 : end]:
+                return base, size
             size >>= 1
+        if size == 2:
+            # Pair granularity: a direct element compare beats building two
+            # one-entry slices (this is every call at the default max size).
+            base = addr & ~1
+            if base + 2 <= num_blocks and leaves[base] == leaves[base + 1]:
+                return base, 2
         return addr, 1
 
     def group_is_super_block(self, base: int, size: int) -> bool:
         """Whether the aligned group ``[base, base+size)`` shares one leaf."""
-        if base + size > self.num_blocks:
+        end = base + size
+        if end > self.num_blocks:
             return False
-        first = self._leaves[base]
-        return all(self._leaves[a] == first for a in range(base + 1, base + size))
+        leaves = self._leaves
+        if size == 2:
+            return leaves[base] == leaves[base + 1]
+        return leaves[base : end - 1] == leaves[base + 1 : end]

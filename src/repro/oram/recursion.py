@@ -44,7 +44,8 @@ class PosMapHierarchy:
         self.entries_per_block = entries_per_block
         self._shift = log2_exact(entries_per_block)
         self.cache_entries = cache_entries
-        self._cache: "OrderedDict[tuple, None]" = OrderedDict()
+        # Keys are (hierarchy << 56) | block_id -- see :meth:`lookup`.
+        self._cache: "OrderedDict[int, None]" = OrderedDict()
         # Statistics
         self.lookups = 0
         self.posmap_block_accesses = 0
@@ -72,21 +73,28 @@ class PosMapHierarchy:
         All PosMap blocks touched by the walk become cached.
         """
         self.lookups += 1
-        keys = self.posmap_block_ids(addr)
-        extra = 0
-        for key in keys:
-            if key in self._cache:
-                self._cache.move_to_end(key)
+        cache = self._cache
+        shift = self._shift
+        block_id = addr
+        missed = []
+        for hierarchy in range(1, self.num_hierarchies):
+            block_id >>= shift
+            # Cache keys pack (hierarchy, block id) into one int: int keys
+            # hash/compare faster than tuples and this runs per request.
+            key = (hierarchy << 56) | block_id
+            if key in cache:
+                cache.move_to_end(key)
                 self.cache_hits += 1
                 break
-            extra += 1
+            missed.append(key)
         # Install every block on the walk (they were all brought on-chip).
-        for key in keys[:extra]:
+        for key in missed:
             self._insert(key)
+        extra = len(missed)
         self.posmap_block_accesses += extra
         return extra
 
-    def _insert(self, key: tuple) -> None:
+    def _insert(self, key: int) -> None:
         if self.cache_entries <= 0:
             return  # cache disabled: plain recursive ORAM, every walk full
         if key in self._cache:

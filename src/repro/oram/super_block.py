@@ -53,7 +53,7 @@ class SchemeStats:
         return self.prefetch_hits / resolved
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchOutcome:
     """What the scheme decided after one ORAM fetch.
 
@@ -81,6 +81,11 @@ class PrefetchTracker:
 
     def __init__(self, oram: PathORAM, stats: SchemeStats, listener=None):
         self._posmap = oram.position_map
+        # Direct handle on the position map's prefetch-bit array: the
+        # tracker is hit on every LLC hit/evict and every fetched member,
+        # and the accessor-call overhead was visible in profiles.  The
+        # position map never reallocates the bytearray.
+        self._prefetch_bits = self._posmap._prefetch_bits
         self._hit_bits = bytearray(self._posmap.num_blocks)
         self.stats = stats
         #: optional adaptive-threshold policy notified of hit/miss events
@@ -91,13 +96,13 @@ class PrefetchTracker:
 
     def mark_prefetched(self, addr: int) -> None:
         """Block enters the LLC as a prefetch (Algorithm 2 else-branch)."""
-        self._posmap.set_prefetch_bit(addr, 1)
+        self._prefetch_bits[addr] = 1
         self._hit_bits[addr] = 0
         self.stats.prefetched_blocks += 1
 
     def on_use(self, addr: int) -> None:
         """LLC hit on the block: first use of a pending prefetch is a hit."""
-        if self._posmap.prefetch_bit(addr) and not self._hit_bits[addr]:
+        if self._prefetch_bits[addr] and not self._hit_bits[addr]:
             self._hit_bits[addr] = 1
             self.stats.prefetch_hits += 1
             if self.listener is not None:
@@ -105,7 +110,7 @@ class PrefetchTracker:
 
     def on_llc_evict(self, addr: int) -> None:
         """Block leaves the LLC; an unused pending prefetch is a miss."""
-        if self._posmap.prefetch_bit(addr) and not self._hit_bits[addr]:
+        if self._prefetch_bits[addr] and not self._hit_bits[addr]:
             self.stats.prefetch_misses += 1
             if self.listener is not None:
                 self.listener.on_prefetch_miss()
@@ -116,9 +121,10 @@ class PrefetchTracker:
         Returns the (prefetch, hit) pair the break counter update uses and
         clears the prefetch bit ("b.prefetch = false").
         """
-        prefetch = self._posmap.prefetch_bit(addr)
+        prefetch_bits = self._prefetch_bits
+        prefetch = prefetch_bits[addr]
         hit = self._hit_bits[addr]
-        self._posmap.set_prefetch_bit(addr, 0)
+        prefetch_bits[addr] = 0
         return prefetch, hit
 
 
@@ -144,6 +150,21 @@ class SuperBlockScheme(ABC):
         self._oram = oram
         self._llc_contains = llc_contains
         self._tracker = PrefetchTracker(oram, self.stats, listener=self.threshold_listener())
+        # Flatten the per-LLC-hit delegation: no scheme overrides
+        # on_llc_hit, so the instance attribute routes hits straight to the
+        # tracker (the backend re-exports this bound method in turn).
+        self.on_llc_hit = self._tracker.on_use
+
+    def set_llc_probe(self, llc_contains: Callable[[int], bool]) -> None:
+        """Swap in the final LLC tag-probe callable.
+
+        Attach happens before the cache hierarchy exists, so the backend
+        first hands the scheme an indirection; once the system wires the
+        real probe it is installed here directly -- the merge algorithm
+        probes the LLC on every access, and each skipped delegation frame
+        is measurable.
+        """
+        self._llc_contains = llc_contains
 
     def threshold_listener(self):
         """Adaptive-threshold policy to notify of prefetch events (or None)."""

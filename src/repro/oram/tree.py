@@ -9,9 +9,12 @@ bucket to ``Z`` ciphertexts so real and dummy blocks are indistinguishable).
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from operator import attrgetter
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.oram.block import Block
+
+_ADDR_OF = attrgetter("addr")
 
 
 class BinaryTree:
@@ -19,7 +22,9 @@ class BinaryTree:
 
     The bucket at level ``l`` on the path to leaf ``s`` has heap index
     ``(1 << l) - 1 + (s >> (levels - l))``: the high ``l`` bits of the leaf
-    label select the node within the level.
+    label select the node within the level.  Path index vectors are
+    memoized per leaf (the geometry never changes after construction), so
+    the per-access ``read_path``/write-back pair never recomputes them.
     """
 
     def __init__(self, levels: int, bucket_size: int):
@@ -32,16 +37,25 @@ class BinaryTree:
         self.num_leaves = 1 << levels
         self.num_buckets = (1 << (levels + 1)) - 1
         self._buckets: List[List[Block]] = [[] for _ in range(self.num_buckets)]
+        self._path_cache: Dict[int, Tuple[int, ...]] = {}
 
     def bucket_index(self, level: int, leaf: int) -> int:
         """Heap index of the bucket at ``level`` on the path to ``leaf``."""
         return (1 << level) - 1 + (leaf >> (self.levels - level))
 
-    def path_indices(self, leaf: int) -> List[int]:
-        """Heap indices of the root-to-leaf path, root first."""
-        if not 0 <= leaf < self.num_leaves:
-            raise ValueError(f"leaf {leaf} out of range [0, {self.num_leaves})")
-        return [self.bucket_index(level, leaf) for level in range(self.levels + 1)]
+    def path_indices(self, leaf: int) -> Sequence[int]:
+        """Heap indices of the root-to-leaf path, root first (memoized)."""
+        path = self._path_cache.get(leaf)
+        if path is None:
+            if not 0 <= leaf < self.num_leaves:
+                raise ValueError(f"leaf {leaf} out of range [0, {self.num_leaves})")
+            levels = self.levels
+            path = tuple(
+                (1 << level) - 1 + (leaf >> (levels - level))
+                for level in range(levels + 1)
+            )
+            self._path_cache[leaf] = path
+        return path
 
     def bucket(self, index: int) -> List[Block]:
         """The (mutable) list of real blocks in bucket ``index``."""
@@ -55,20 +69,54 @@ class BinaryTree:
         in the stash).  The buckets are left empty.
         """
         blocks: List[Block] = []
+        buckets = self._buckets
         for index in self.path_indices(leaf):
-            bucket = self._buckets[index]
+            bucket = buckets[index]
             if bucket:
                 blocks.extend(bucket)
-                self._buckets[index] = []
+                buckets[index] = []
         return blocks
+
+    def read_path_into(self, leaf: int, store: Dict[int, Block]) -> int:
+        """Move every real block on the path to ``leaf`` into ``store``.
+
+        Fused variant of :meth:`read_path` for the access hot path: blocks
+        are keyed by address directly into the caller's dict (the stash's
+        backing store) instead of materializing an intermediate list.
+        Returns the number of blocks moved; the path buckets are left empty.
+        """
+        buckets = self._buckets
+        path = self._path_cache.get(leaf)
+        if path is None:
+            path = self.path_indices(leaf)
+        moved: List[Block] = []
+        extend = moved.extend
+        for index in path:
+            bucket = buckets[index]
+            if bucket:
+                extend(bucket)
+                buckets[index] = []
+        # One C-level bulk insert for the whole path instead of a per-block
+        # Python loop (zip + attrgetter keep the key extraction in C too).
+        store.update(zip(map(_ADDR_OF, moved), moved))
+        return len(moved)
 
     def write_bucket(self, level: int, leaf: int, blocks: List[Block]) -> None:
         """Install ``blocks`` as the content of the bucket at (level, leaf)."""
+        self.write_bucket_at(self.bucket_index(level, leaf), blocks)
+
+    def write_bucket_at(self, index: int, blocks: List[Block]) -> None:
+        """Install ``blocks`` at a precomputed heap index (hot write-back path).
+
+        The tree takes ownership of the list.  Callers that already hold a
+        :meth:`path_indices` vector use this to skip the per-level geometry
+        arithmetic of :meth:`write_bucket`.
+        """
         if len(blocks) > self.bucket_size:
             raise ValueError(
                 f"bucket overflow: {len(blocks)} blocks into a Z={self.bucket_size} bucket"
             )
-        self._buckets[self.bucket_index(level, leaf)] = blocks
+        self._buckets[index] = blocks
 
     def occupancy(self) -> int:
         """Total number of real blocks currently stored in the tree."""

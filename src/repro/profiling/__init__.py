@@ -1,0 +1,13 @@
+"""Throughput profiling for the simulator itself.
+
+Unlike :mod:`repro.sim.results` (which reports *simulated* cycles), this
+package measures how fast the simulator runs on the host: wall-clock time
+per component phase, per-component event counters, and end-to-end trace
+accesses per second.  It exists to keep the hot-path optimizations honest
+-- ``benchmarks/bench_throughput.py`` and ``repro run --profile`` both
+build on it.
+"""
+
+from repro.profiling.profiler import PhaseTimer, Profiler, RunProfile
+
+__all__ = ["PhaseTimer", "Profiler", "RunProfile"]

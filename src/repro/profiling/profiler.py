@@ -1,0 +1,222 @@
+"""Phase timers and run profiles for simulator throughput measurement.
+
+The profiler attaches to a built :class:`~repro.sim.system.SecureSystem`
+*before* ``run`` is called.  It wraps the backend's entry points (demand
+access, write-back eviction, prefetch) and the cache hierarchy's access
+method with thin timing shims, so each component's wall-clock share and
+call count accumulate while the trace replays.  The simulation itself is
+untouched: the shims call straight through, and a system with no profiler
+attached pays only one ``None`` check per ``run``.
+
+Note the observer effect: the shims add roughly a microsecond per wrapped
+call, so profiled runs report slightly lower accesses/sec than bare runs.
+Throughput comparisons (``benchmarks/bench_throughput.py``) therefore time
+bare runs and use the profiler only for the phase breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+
+class PhaseTimer:
+    """Accumulated wall time and call count for one named phase."""
+
+    __slots__ = ("name", "calls", "seconds", "_start")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def wrap(self, fn: Callable) -> Callable:
+        """Return ``fn`` shimmed to accumulate into this timer."""
+
+        def timed(*args, **kwargs):
+            start = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self.seconds += perf_counter() - start
+                self.calls += 1
+
+        return timed
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds += perf_counter() - self._start
+        self.calls += 1
+
+
+@dataclass
+class RunProfile:
+    """Host-side performance picture of one completed ``run``.
+
+    Attributes:
+        label: the system's scheme label.
+        workload: trace name.
+        entries: trace references replayed.
+        wall_seconds: end-to-end ``run`` wall time.
+        accesses_per_sec: ``entries / wall_seconds`` -- the headline
+            simulator-throughput metric.
+        phases: per-phase ``{"calls": int, "seconds": float}`` breakdowns.
+        counters: per-component event counts sampled after the run.
+    """
+
+    label: str
+    workload: str
+    entries: int
+    wall_seconds: float
+    accesses_per_sec: float
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serializable dict (used by the benchmark artifacts)."""
+        return {
+            "label": self.label,
+            "workload": self.workload,
+            "entries": self.entries,
+            "wall_seconds": self.wall_seconds,
+            "accesses_per_sec": self.accesses_per_sec,
+            "phases": self.phases,
+            "counters": self.counters,
+        }
+
+    def report(self) -> str:
+        """Human-readable multi-line summary."""
+        lines: List[str] = [
+            f"profile: {self.label} on {self.workload}",
+            f"  {self.entries} accesses in {self.wall_seconds:.3f} s "
+            f"({self.accesses_per_sec:,.0f} accesses/sec)",
+        ]
+        if self.phases:
+            lines.append("  phases (wall time inside the run):")
+            for name, data in sorted(
+                self.phases.items(), key=lambda kv: -kv[1]["seconds"]
+            ):
+                share = (
+                    data["seconds"] / self.wall_seconds if self.wall_seconds else 0.0
+                )
+                lines.append(
+                    f"    {name:<18} {data['seconds']:8.3f} s "
+                    f"({share:5.1%})  {int(data['calls']):>9} calls"
+                )
+        if self.counters:
+            lines.append("  counters:")
+            for name in sorted(self.counters):
+                lines.append(f"    {name:<26} {self.counters[name]:>12,}")
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Wall-clock profiler for one :class:`SecureSystem` run.
+
+    Usage::
+
+        profiler = Profiler()
+        profiler.attach(system)       # before system.run(...)
+        result = system.run(trace)
+        print(profiler.profile.report())
+
+    ``attach`` installs the phase shims and registers the profiler on the
+    system; :meth:`~repro.sim.system.SecureSystem.run` then brackets the
+    replay with :meth:`begin_run` / :meth:`end_run` automatically.  One
+    profiler profiles one run at a time; re-running the same system simply
+    overwrites :attr:`profile`.
+    """
+
+    #: (phase name, attribute holder, attribute name) wrapped by attach().
+    _PHASES = (
+        ("cache_hierarchy", "hierarchy", "access"),
+        ("backend_demand", "backend", "demand_access"),
+        ("backend_writeback", "backend", "evict_line"),
+        ("backend_prefetch", "backend", "prefetch_access"),
+    )
+
+    def __init__(self) -> None:
+        self.timers: Dict[str, PhaseTimer] = {}
+        self.profile: Optional[RunProfile] = None
+        self._run_start = 0.0
+
+    # ----------------------------------------------------------------- wiring
+    def attach(self, system) -> "Profiler":
+        """Install timing shims on ``system`` and register for its runs."""
+        for name, holder_name, attr in self._PHASES:
+            holder = getattr(system, holder_name)
+            fn = getattr(holder, attr, None)
+            if fn is None:
+                continue
+            timer = PhaseTimer(name)
+            self.timers[name] = timer
+            # Instance-attribute shim: run() re-binds these entry points at
+            # call time, so wrapping here covers the whole replay.
+            setattr(holder, attr, timer.wrap(fn))
+        system.profiler = self
+        return self
+
+    # ------------------------------------------------------------- run hooks
+    def begin_run(self) -> None:
+        self._run_start = perf_counter()
+
+    def end_run(self, system, trace, result) -> None:
+        wall = perf_counter() - self._run_start
+        entries = len(trace.entries)
+        self.profile = RunProfile(
+            label=system.label,
+            workload=getattr(trace, "name", "trace"),
+            entries=entries,
+            wall_seconds=wall,
+            accesses_per_sec=entries / wall if wall > 0 else 0.0,
+            phases={
+                name: {"calls": timer.calls, "seconds": timer.seconds}
+                for name, timer in self.timers.items()
+                if timer.calls
+            },
+            counters=self._collect_counters(system),
+        )
+
+    # ---------------------------------------------------------------- helpers
+    @staticmethod
+    def _collect_counters(system) -> Dict[str, int]:
+        """Sample per-component event counters from a finished system."""
+        counters: Dict[str, int] = {}
+        hierarchy = system.hierarchy
+        counters["l1_hits"] = hierarchy.l1.hits
+        counters["l1_misses"] = hierarchy.l1.misses
+        counters["llc_hits"] = hierarchy.llc.hits
+        counters["llc_misses"] = hierarchy.llc.misses
+        counters["llc_evictions"] = hierarchy.llc.evictions
+        counters["llc_tag_probes"] = hierarchy.llc.probe_count
+        stats = system.backend.stats
+        counters["demand_requests"] = stats.demand_requests
+        counters["write_accesses"] = stats.write_accesses
+        counters["posmap_accesses"] = stats.posmap_accesses
+        counters["dummy_accesses"] = stats.dummy_accesses
+        counters["memory_accesses"] = stats.memory_accesses
+        oram = getattr(system.backend, "oram", None)
+        if oram is not None:
+            counters["stash_max_occupancy"] = oram.stash.max_occupancy
+            counters["stash_soft_overflows"] = oram.stash_soft_overflows
+        scheme = getattr(system.backend, "scheme", None)
+        if scheme is not None:
+            counters["merges"] = scheme.stats.merges
+            counters["breaks"] = scheme.stats.breaks
+            counters["prefetched_blocks"] = scheme.stats.prefetched_blocks
+            counters["prefetch_hits"] = scheme.stats.prefetch_hits
+            counters["prefetch_misses"] = scheme.stats.prefetch_misses
+        return counters
+
+
+def dump_profiles(profiles: List[RunProfile], path: str) -> None:
+    """Write a list of profiles as a JSON artifact."""
+    with open(path, "w") as fh:
+        json.dump([p.to_json() for p in profiles], fh, indent=2)
+        fh.write("\n")

@@ -55,10 +55,16 @@ class SecureSystem:
             config.l1, config.llc, victim_callback=self._on_llc_victim
         )
         if isinstance(backend, ORAMBackend):
-            backend.set_llc_probe(self.hierarchy.contains)
+            # hierarchy.contains is a pure delegation to llc.contains; hand
+            # the backend the LLC's bound method directly (the merge
+            # algorithm probes it on every miss).
+            backend.set_llc_probe(self.hierarchy.llc.contains)
         self._now = 0
         #: prefetched lines not yet usable: addr -> fill completion cycle
         self._pending_fills = {}
+        #: optional :class:`repro.profiling.Profiler`; set by its attach().
+        #: Costs one None check per run when absent.
+        self.profiler = None
 
     # ----------------------------------------------------------------- build
     @classmethod
@@ -194,9 +200,21 @@ class SecureSystem:
                 training) is negligible; short traces approximate that by
                 measuring only the steady-state window.
         """
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.begin_run()
         hierarchy = self.hierarchy
         backend = self.backend
         prefetcher = self.prefetcher
+        # Bound-method locals: this loop body runs once per trace entry and
+        # dominates the DRAM configurations' runtime.
+        hierarchy_access = hierarchy.access
+        fill_demand = hierarchy.fill_demand
+        fill_prefetch = hierarchy.fill_prefetch
+        demand_access = backend.demand_access
+        on_llc_hit = backend.on_llc_hit
+        pop_pending = self._pending_fills.pop
+        l1_hit_latency = self.config.l1.hit_latency
         l1_hits = 0
         llc_hits = 0
         misses = 0
@@ -204,36 +222,36 @@ class SecureSystem:
         warmup_snapshot = None
         index = 0
         for gap, addr, is_write in trace.entries:
-            if index == warmup_entries and warmup_entries > 0:
+            if warmup_entries and index == warmup_entries:
                 warmup_snapshot = self._collect(trace, now, l1_hits, llc_hits, misses, index)
             index += 1
             now += gap
-            outcome = hierarchy.access(addr, bool(is_write))
-            if outcome.level in ("l1", "llc"):
+            outcome = hierarchy_access(addr, bool(is_write))
+            level = outcome.level
+            if level != "miss":
                 # A hit on a still-in-flight prefetched line waits for the
                 # fill to actually arrive (MSHR-hit semantics): prefetched
                 # data is not usable before its access completes.
-                pending = self._pending_fills.pop(addr, None)
+                pending = pop_pending(addr, None)
                 if pending is not None and pending > now:
                     now = pending
-                if outcome.level == "l1":
-                    l1_hits += 1
-                    now += outcome.latency
-                    continue
-                llc_hits += 1
                 now += outcome.latency
-                backend.on_llc_hit(addr)
+                if level == "l1":
+                    l1_hits += 1
+                else:
+                    llc_hits += 1
+                    on_llc_hit(addr)
                 continue
             # ----- full miss: the in-order core stalls on the backend.
             misses += 1
             self._now = now  # visible to the victim callback
-            result = backend.demand_access(addr, now, bool(is_write))
+            result = demand_access(addr, now, bool(is_write))
             for fill_addr, prefetched in result.filled:
                 if fill_addr == addr:
-                    hierarchy.fill_demand(fill_addr, bool(is_write))
+                    fill_demand(fill_addr, bool(is_write))
                 else:
-                    hierarchy.fill_prefetch(fill_addr)
-            now = result.completion_cycle + self.config.l1.hit_latency
+                    fill_prefetch(fill_addr)
+            now = result.completion_cycle + l1_hit_latency
             self._now = now
             if prefetcher is not None:
                 # Prefetches never stall the core; they only occupy the
@@ -243,7 +261,9 @@ class SecureSystem:
         backend.finalize(now)
         final = self._collect(trace, now, l1_hits, llc_hits, misses, len(trace.entries))
         if warmup_snapshot is not None:
-            return SimResult.delta(final, warmup_snapshot)
+            final = SimResult.delta(final, warmup_snapshot)
+        if profiler is not None:
+            profiler.end_run(self, trace, final)
         return final
 
     def _issue_prefetches(self, miss_addr: int, now: int) -> None:
@@ -268,6 +288,12 @@ class SecureSystem:
 
     # --------------------------------------------------------------- plumbing
     def _on_llc_victim(self, addr: int, dirty: bool) -> None:
+        # A prefetched line evicted (or invalidated) before its fill
+        # completes no longer has an in-flight fill to wait for: drop the
+        # pending completion cycle so a later re-fetch of the same address
+        # cannot stall on the stale cycle, and the dict stays bounded by
+        # LLC capacity on long traces.
+        self._pending_fills.pop(addr, None)
         self.backend.evict_line(addr, dirty, self._now)
 
     def _collect(

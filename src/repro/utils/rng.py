@@ -21,6 +21,11 @@ class DeterministicRng:
     def __init__(self, seed: int = 0):
         self._seed = seed
         self._random = random.Random(seed)
+        #: Bound ``Random._randbelow`` -- ``randbelow(n)`` draws exactly the
+        #: same value (and consumes exactly the same generator state) as
+        #: ``random_leaf(n)``, minus two wrapper frames and ``randrange``'s
+        #: argument checks.  Hot paths that draw a leaf per access use this.
+        self.randbelow = self._random._randbelow
 
     @property
     def seed(self) -> int:

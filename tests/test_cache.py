@@ -66,6 +66,31 @@ class TestBasics:
         victim = cache.invalidate(0)
         assert victim.dirty  # dirtiness is sticky
 
+    def test_insert_at_lru_is_next_victim(self):
+        cache = make_cache(capacity=512, assoc=2)
+        cache.insert(0)
+        cache.insert(2, at_mru=False)  # low-priority fill lands at LRU
+        victim = cache.insert(4)
+        assert victim is not None and victim.addr == 2
+
+    def test_insert_present_line_demoted_with_at_mru_false(self):
+        # Regression: a low-priority re-fill of an already-present line must
+        # demote it to the LRU position, not leave it where it was.
+        cache = make_cache(capacity=512, assoc=2)
+        cache.insert(2)
+        cache.insert(0)  # LRU order now: 2, 0
+        cache.insert(0, at_mru=False)  # demote 0 from MRU to LRU
+        victim = cache.insert(4)
+        assert victim is not None and victim.addr == 0
+
+    def test_insert_present_line_demotion_keeps_dirty(self):
+        cache = make_cache(capacity=512, assoc=2)
+        cache.insert(2)
+        cache.insert(0, dirty=True)
+        cache.insert(0, at_mru=False)
+        victim = cache.insert(4)
+        assert victim.addr == 0 and victim.dirty
+
     def test_invalidate_missing(self):
         cache = make_cache()
         assert cache.invalidate(99) is None

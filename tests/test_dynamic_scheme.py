@@ -259,3 +259,55 @@ class TestPolicyIntegration:
     def test_invalid_max_sbsize(self):
         with pytest.raises(ValueError):
             DynamicSuperBlockScheme(max_sbsize=3)
+
+
+class TestEvictionDecrementGuard:
+    """Regression: the eviction-time merge-counter decrement must apply the
+    same neighbor-validity guard as :meth:`_run_merge`.  While the neighbor
+    group is not itself a super block the pair has no well-defined merge
+    counter, so evicting a member must not skew the bits the merge path
+    would never have read."""
+
+    @staticmethod
+    def _pair_with_invalid_neighbor(h):
+        """Merge (0, 1) and force (2, 3) onto distinct leaves."""
+        pm = h.oram.position_map
+        h.oram.remap_group([0, 1])
+        leaf01 = pm.leaf(0)
+        pm.set_leaf(2, (leaf01 + 1) % pm.num_leaves)
+        pm.set_leaf(3, (leaf01 + 2) % pm.num_leaves)
+        return pm
+
+    def test_no_decrement_while_neighbor_not_super_block(self):
+        from repro.core.counters import bits_to_value
+
+        h = Harness(max_sbsize=4)
+        pm = self._pair_with_invalid_neighbor(h)
+        pm.set_merge_bits(0, [0, 1, 1, 0])  # counter value 6
+        h.scheme.on_llc_evict(0)
+        assert bits_to_value(pm.merge_bits(0, 4)) == 6  # unchanged
+
+    def test_decrement_once_neighbor_is_super_block(self):
+        from repro.core.counters import bits_to_value
+
+        h = Harness(max_sbsize=4)
+        pm = self._pair_with_invalid_neighbor(h)
+        # Now make (2, 3) a super block on a leaf distinct from (0, 1)'s so
+        # super_block_of(0) still reports the size-2 group.
+        leaf01 = pm.leaf(0)
+        h.oram.remap_group([2, 3], leaf=(leaf01 + 3) % pm.num_leaves)
+        pm.set_merge_bits(0, [0, 1, 1, 0])
+        h.scheme.on_llc_evict(0)
+        assert bits_to_value(pm.merge_bits(0, 4)) == 5
+
+    def test_coresident_eviction_never_decrements(self):
+        from repro.core.counters import bits_to_value
+
+        h = Harness(max_sbsize=4)
+        pm = self._pair_with_invalid_neighbor(h)
+        leaf01 = pm.leaf(0)
+        h.oram.remap_group([2, 3], leaf=(leaf01 + 3) % pm.num_leaves)
+        pm.set_merge_bits(0, [0, 1, 1, 0])
+        h.scheme._coresident[0] = 1  # residency saw its neighbor
+        h.scheme.on_llc_evict(0)
+        assert bits_to_value(pm.merge_bits(0, 4)) == 6

@@ -1,0 +1,157 @@
+"""Golden-output determinism tests for the simulation hot path.
+
+The hot-path code (stash eviction, tree indexing, position map scans) is
+performance-critical and gets refactored; these tests pin the *simulated
+outcome* so an optimization that changes behaviour -- a different block
+placement, a perturbed ``DeterministicRng`` call order, an altered counter
+update -- fails loudly instead of silently skewing every figure.
+
+The golden snapshot lives in ``tests/data/golden_dyn_locality80.json``.
+Regenerate it (only after an *intentional* behaviour change, e.g. a bugfix)
+with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_determinism.py
+
+A property test additionally drives randomized merge -> break -> merge
+histories through the dynamic scheme and asserts the ORAM's structural
+invariants after every phase.
+"""
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import experiment_config
+from repro.config import ORAMConfig
+from repro.core.dynamic import DynamicSuperBlockScheme
+from repro.core.thresholds import StaticThresholdPolicy
+from repro.oram.path_oram import PathORAM
+from repro.sim.system import SecureSystem
+from repro.utils.rng import DeterministicRng
+from repro.workloads.synthetic import locality_mix_trace
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_dyn_locality80.json"
+
+#: Float-valued SimResult fields compared approximately (everything else
+#: must match bit-for-bit).
+FLOAT_FIELDS = {"posmap_cache_hit_rate"}
+
+
+def golden_run():
+    """The pinned scenario: PrORAM (dyn) on the 80%-locality synthetic mix."""
+    # 8000 accesses is the smallest run that exercises merges *and* breaks
+    # (8 merges, 1 break at this seed) while staying fast enough for CI.
+    trace = locality_mix_trace(0.8, accesses=8000)
+    system = SecureSystem.build("dyn", trace.footprint_blocks, experiment_config())
+    result = system.run(trace)
+    system.backend.oram.check_invariants()
+    return result
+
+
+def result_to_dict(result):
+    data = dataclasses.asdict(result)
+    data.pop("extra", None)
+    return data
+
+
+class TestGoldenDeterminism:
+    def test_simresult_matches_snapshot(self):
+        actual = result_to_dict(golden_run())
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+            pytest.skip(f"golden snapshot regenerated at {GOLDEN_PATH}")
+        assert GOLDEN_PATH.exists(), (
+            f"missing golden snapshot {GOLDEN_PATH}; regenerate with "
+            "REPRO_UPDATE_GOLDEN=1"
+        )
+        expected = json.loads(GOLDEN_PATH.read_text())
+        assert set(actual) == set(expected), "SimResult field set changed"
+        for field, want in expected.items():
+            got = actual[field]
+            if field in FLOAT_FIELDS:
+                assert got == pytest.approx(want, rel=1e-12), field
+            else:
+                assert got == want, (
+                    f"SimResult.{field} drifted from golden snapshot: "
+                    f"{got!r} != {want!r}"
+                )
+
+    def test_back_to_back_runs_identical(self):
+        first = result_to_dict(golden_run())
+        second = result_to_dict(golden_run())
+        assert first == second
+
+
+# --------------------------------------------------------------------------
+# Property test: invariants hold through randomized merge/break churn.
+# --------------------------------------------------------------------------
+class ChurnDriver:
+    """Drives forced merge -> break -> merge cycles through the full stack."""
+
+    def __init__(self, seed: int, max_sbsize: int = 4):
+        config = ORAMConfig(levels=9, bucket_size=4, stash_blocks=60, utilization=0.5)
+        self.oram = PathORAM(config, DeterministicRng(seed), populate=False)
+        self.llc = set()
+        self.scheme = DynamicSuperBlockScheme(
+            max_sbsize=max_sbsize, policy=StaticThresholdPolicy()
+        )
+        self.scheme.attach(self.oram, lambda addr: addr in self.llc)
+        self.scheme.initialize()
+        self.oram.populate()
+        self.n = self.oram.position_map.num_blocks
+
+    def miss(self, addr):
+        members = self.scheme.members_for(addr)
+        blocks = self.oram.begin_access(members)
+        fetched = {m: blocks[m] for m in members if m not in self.llc}
+        outcome = self.scheme.process_fetch(addr, members, fetched)
+        self.oram.finish_access()
+        for fill, _ in outcome.to_llc:
+            self.llc.add(fill)
+        self.oram.drain_stash()
+
+    def touch(self, addr):
+        addr %= self.n
+        if addr in self.llc:
+            self.scheme.on_llc_hit(addr)
+        else:
+            self.miss(addr)
+
+    def evict_all(self):
+        for addr in sorted(self.llc):
+            self.scheme.on_llc_evict(addr)
+        self.llc.clear()
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=1, max_value=10_000),
+    bases=st.lists(st.integers(min_value=0, max_value=10**6), min_size=2, max_size=8),
+)
+def test_merge_break_merge_churn_preserves_invariants(seed, bases):
+    driver = ChurnDriver(seed)
+    for raw in bases:
+        base = (raw % driver.n) & ~3  # aligned 4-group
+        # Merge phase: streaming over the group trains the merge counters.
+        for sweep in range(3):
+            for offset in range(4):
+                driver.touch(base + offset)
+        driver.oram.check_invariants()
+        # Break phase: evict everything unused, then re-touch only one
+        # member so prefetch evidence turns negative and breaks fire.
+        driver.evict_all()
+        for _ in range(3):
+            driver.touch(base)
+            driver.evict_all()
+        driver.oram.check_invariants()
+        # Re-merge phase: stream again after the breaks.
+        for offset in range(4):
+            driver.touch(base + offset)
+        driver.oram.check_invariants()
+    driver.oram.check_invariants()

@@ -1,0 +1,131 @@
+"""Tests for the simulator throughput-profiling harness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main as cli_main
+from repro.profiling import PhaseTimer, Profiler
+from repro.profiling.profiler import dump_profiles
+from repro.sim.system import SecureSystem
+from repro.workloads.synthetic import locality_mix_trace
+
+
+def _small_trace():
+    return locality_mix_trace(0.8, accesses=1500)
+
+
+class TestPhaseTimer:
+    def test_wrap_accumulates_calls_and_time(self):
+        timer = PhaseTimer("work")
+        wrapped = timer.wrap(lambda x: x * 2)
+        assert wrapped(21) == 42
+        assert wrapped(5) == 10
+        assert timer.calls == 2
+        assert timer.seconds >= 0.0
+
+    def test_wrap_counts_raising_calls(self):
+        timer = PhaseTimer("boom")
+
+        def boom():
+            raise RuntimeError("nope")
+
+        wrapped = timer.wrap(boom)
+        try:
+            wrapped()
+        except RuntimeError:
+            pass
+        assert timer.calls == 1
+
+    def test_context_manager(self):
+        timer = PhaseTimer("block")
+        with timer:
+            pass
+        assert timer.calls == 1
+        assert timer.seconds >= 0.0
+
+
+class TestProfiler:
+    def test_profile_populated_after_run(self):
+        trace = _small_trace()
+        system = SecureSystem.build("dyn", trace.footprint_blocks)
+        profiler = Profiler().attach(system)
+        assert system.profiler is profiler
+        system.run(trace)
+        profile = profiler.profile
+        assert profile is not None
+        assert profile.entries == len(trace)
+        assert profile.wall_seconds > 0.0
+        assert profile.accesses_per_sec > 0.0
+        # The demand path must have been exercised and timed.
+        assert profile.phases["backend_demand"]["calls"] > 0
+        assert profile.phases["cache_hierarchy"]["calls"] == len(trace)
+        # Component counters sampled from the finished system.
+        assert profile.counters["demand_requests"] > 0
+        assert profile.counters["l1_misses"] > 0
+        assert "stash_max_occupancy" in profile.counters
+
+    def test_profile_serializes_and_reports(self, tmp_path):
+        trace = _small_trace()
+        system = SecureSystem.build("dyn", trace.footprint_blocks)
+        profiler = Profiler().attach(system)
+        system.run(trace)
+        payload = json.dumps(profiler.profile.to_json())
+        parsed = json.loads(payload)
+        assert parsed["entries"] == len(trace)
+        report = profiler.profile.report()
+        assert "accesses/sec" in report
+        assert "backend_demand" in report
+        out = tmp_path / "profiles.json"
+        dump_profiles([profiler.profile], str(out))
+        assert json.loads(out.read_text())[0]["label"] == system.label
+
+    def test_profiling_does_not_change_simulated_outcome(self):
+        """The shims must be observers only: bit-identical SimResult."""
+        trace = _small_trace()
+        bare = SecureSystem.build("dyn", trace.footprint_blocks)
+        bare_result = bare.run(trace)
+        profiled = SecureSystem.build("dyn", trace.footprint_blocks)
+        Profiler().attach(profiled)
+        profiled_result = profiled.run(trace)
+        assert profiled_result == bare_result
+
+    def test_dram_backend_profiles_without_oram_counters(self):
+        trace = _small_trace()
+        system = SecureSystem.build("dram", trace.footprint_blocks)
+        profiler = Profiler().attach(system)
+        system.run(trace)
+        counters = profiler.profile.counters
+        assert "stash_max_occupancy" not in counters
+        assert "merges" not in counters
+        assert counters["demand_requests"] > 0
+
+
+class TestCliProfileFlag:
+    def test_run_with_profile_flag(self, capsys):
+        rc = cli_main(
+            [
+                "run",
+                "-w",
+                "locality:80",
+                "-s",
+                "dyn",
+                "--accesses",
+                "1500",
+                "--warmup",
+                "0",
+                "--profile",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile: dyn" in out
+        assert "accesses/sec" in out
+
+    def test_run_without_profile_flag_prints_no_profile(self, capsys):
+        rc = cli_main(
+            ["run", "-w", "locality:80", "-s", "dyn", "--accesses", "1500",
+             "--warmup", "0"]
+        )
+        assert rc == 0
+        assert "profile: dyn" not in capsys.readouterr().out

@@ -143,3 +143,37 @@ class TestSchemeComparisons:
         res = run_schemes(trace, ["oram", "oram_intvl"], config=small_config(), warmup_fraction=0.3)
         slowdown = res["oram_intvl"].normalized_completion_time(res["oram"])
         assert 1.0 <= slowdown < 1.5
+
+
+class TestPendingFills:
+    """Regression: stale in-flight prefetch fills must be purged when the
+    line leaves the LLC, so a later re-fetch of the same address cannot
+    stall on a dead completion cycle and the tracking dict stays bounded."""
+
+    def test_evicted_prefetch_purges_pending_fill(self):
+        system = SecureSystem.build("dram_pre", footprint_blocks=256, config=small_config())
+        system.hierarchy.fill_prefetch(7)
+        system._pending_fills[7] = 10**15  # fill still "in flight"
+        system.hierarchy.invalidate(7)  # line leaves the LLC before use
+        assert 7 not in system._pending_fills
+
+    def test_pending_fills_bounded_by_llc_capacity(self):
+        # Footprint far beyond the LLC: every prefetched line is eventually
+        # evicted, so entries must not accumulate across the whole trace.
+        trace = sequential_trace(n=6000, footprint=2048)
+        system = SecureSystem.build("dram_pre", footprint_blocks=2048, config=small_config())
+        system.run(trace)
+        assert len(system._pending_fills) <= system.config.llc.num_lines
+
+    def test_refetched_line_hits_without_stale_stall(self):
+        system = SecureSystem.build("dram_pre", footprint_blocks=256, config=small_config())
+        system.hierarchy.fill_prefetch(9)
+        system._pending_fills[9] = 10**15
+        system.hierarchy.invalidate(9)
+        # Re-fetch on demand and hit it: the run loop must not pick up the
+        # stale completion cycle.
+        trace = Trace("refetch", footprint_blocks=256)
+        trace.append(10, 9)
+        trace.append(10, 9)
+        result = system.run(trace)
+        assert result.cycles < 10**12
