@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast profile examples gallery audit clean
+.PHONY: install test bench bench-fast profile soak examples gallery audit clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,6 +22,9 @@ bench-fast:
 profile:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py
 	PYTHONPATH=src $(PYTHON) -m repro run -w locality:80 -s dyn --accesses 20000 --warmup 0 --profile
+
+soak:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_soak_faults.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

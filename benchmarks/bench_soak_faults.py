@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Fault-injection soak: the self-healing KV store under sustained abuse.
+
+Drives the :class:`repro.faults.ResilientKVStore` through a long mixed
+put/get/delete workload (50,000 accesses by default) while the
+:class:`repro.faults.FaultInjector` corrupts the untrusted storage with
+every fault class at once -- bucket bit-flips, stale-bucket replays,
+transient read failures, delayed responses.  Every read is verified
+against a shadow dict *as it happens*, and a final full sweep re-checks
+every key ever written, so the pass criterion is literal:
+
+* **zero** lost or stale acknowledged writes, ever;
+* **nonzero** retry and recovery counters (the ladder actually ran);
+* a clean ``fsck`` audit of the surviving store.
+
+The run is deterministic: the same ``--fault-seed`` reproduces the same
+fault schedule and the same counters, byte for byte.  Counters land in
+``BENCH_soak.json`` for CI to archive.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_soak_faults.py
+    PYTHONPATH=src python benchmarks/bench_soak_faults.py --ops 5000 -o /tmp/soak.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import ORAMConfig
+from repro.faults import FaultConfig, ResilienceConfig, ResilientKVStore
+from repro.faults.fsck import run_fsck
+from repro.utils.rng import DeterministicRng
+
+DEFAULT_OPS = 50_000
+
+#: store geometry: big enough for realistic path depth, small enough that
+#: 50k accesses finish in minutes
+ORAM_LEVELS = 7
+#: mixed fault cocktail (rates are per path access)
+BITFLIP_RATE = 0.004
+REPLAY_RATE = 0.002
+TRANSIENT_RATE = 0.01
+DELAY_RATE = 0.005
+START_AFTER = 50
+
+
+def soak(ops: int, fault_seed: int, workload_seed: int, checkpoint_interval: int):
+    """Run the soak; returns (elapsed_sec, store, mismatches, final_checked)."""
+    config = ORAMConfig(
+        levels=ORAM_LEVELS, bucket_size=4, stash_blocks=60, utilization=0.5
+    )
+    faults = FaultConfig(
+        seed=fault_seed,
+        bitflip_rate=BITFLIP_RATE,
+        replay_rate=REPLAY_RATE,
+        transient_rate=TRANSIENT_RATE,
+        delay_rate=DELAY_RATE,
+        start_after=START_AFTER,
+    )
+    store = ResilientKVStore(
+        config,
+        fault_config=faults,
+        resilience=ResilienceConfig(checkpoint_interval=checkpoint_interval),
+        seed=5,
+    )
+    shadow = {}
+    rng = DeterministicRng(workload_seed)
+    mismatches = 0
+    start = time.perf_counter()
+    for i in range(ops):
+        key = rng.randbelow(store.capacity)
+        op = rng.randbelow(100)
+        if op < 55:
+            value = bytes([i % 251]) * (1 + rng.randbelow(8))
+            store.put(key, value)
+            shadow[key] = value
+        elif op < 95:
+            if store.get(key) != shadow.get(key):
+                mismatches += 1
+                print(f"op {i}: MISMATCH on key {key}", file=sys.stderr)
+        else:
+            store.delete(key)
+            shadow.pop(key, None)
+        if (i + 1) % 10_000 == 0:
+            rs = store.recovery
+            print(
+                f"  {i + 1}/{ops} ops: {store.fault_stats.total_injected} faults "
+                f"injected, {rs.retries} retries, {rs.recoveries} recoveries"
+            )
+    # Final sweep: every key ever acknowledged must read back exactly.
+    for key, value in shadow.items():
+        if store.get(key) != value:
+            mismatches += 1
+            print(f"final sweep: MISMATCH on key {key}", file=sys.stderr)
+    elapsed = time.perf_counter() - start
+    return elapsed, store, mismatches, len(shadow)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=DEFAULT_OPS)
+    parser.add_argument("--fault-seed", type=int, default=11)
+    parser.add_argument("--workload-seed", type=int, default=99)
+    parser.add_argument("--checkpoint-interval", type=int, default=256)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_soak.json",
+        help="JSON artifact path (default: BENCH_soak.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.ops < 1:
+        parser.error("--ops must be >= 1")
+
+    print(
+        f"soak: {args.ops} KV accesses, fault seed {args.fault_seed} "
+        f"(bitflip {BITFLIP_RATE}, replay {REPLAY_RATE}, "
+        f"transient {TRANSIENT_RATE}, delay {DELAY_RATE})"
+    )
+    elapsed, store, mismatches, live_keys = soak(
+        args.ops, args.fault_seed, args.workload_seed, args.checkpoint_interval
+    )
+    report = run_fsck(store.oram)
+    fault_stats = store.fault_stats.as_dict()
+    recovery_stats = store.recovery.as_dict()
+
+    print(f"\ncompleted in {elapsed:.1f}s ({args.ops / elapsed:,.0f} ops/sec)")
+    print(f"live keys: {live_keys}, mismatches: {mismatches}")
+    print("faults injected:", fault_stats)
+    print("recovery ladder:", recovery_stats)
+    print(report.summary())
+
+    ok = (
+        mismatches == 0
+        and report.ok
+        and fault_stats["total_injected"] > 0
+        and recovery_stats["retries"] > 0
+        and recovery_stats["recoveries"] > 0
+    )
+
+    artifact = {
+        "ops": args.ops,
+        "fault_seed": args.fault_seed,
+        "workload_seed": args.workload_seed,
+        "checkpoint_interval": args.checkpoint_interval,
+        "elapsed_sec": elapsed,
+        "ops_per_sec": args.ops / elapsed,
+        "live_keys": live_keys,
+        "mismatches": mismatches,
+        "fsck_clean": report.ok,
+        "fault_rates": {
+            "bitflip": BITFLIP_RATE,
+            "replay": REPLAY_RATE,
+            "transient": TRANSIENT_RATE,
+            "delay": DELAY_RATE,
+            "start_after": START_AFTER,
+        },
+        "fault_stats": fault_stats,
+        "recovery_stats": recovery_stats,
+        "pass": ok,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.output}")
+    if not ok:
+        print("SOAK FAILED", file=sys.stderr)
+        return 1
+    print("SOAK PASS: zero lost/stale acknowledged writes under sustained faults")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,7 @@ def run_schemes(
     static_sbsize: Optional[int] = None,
     warmup_fraction: float = 0.0,
     system_hook=None,
+    build_kwargs=None,
 ) -> Dict[str, SimResult]:
     """Run one trace through each scheme on a fresh system.
 
@@ -70,6 +71,11 @@ def run_schemes(
         system_hook: optional ``(scheme, system)`` callable invoked after
             each system is built and before it runs -- the CLI uses this to
             attach a :class:`repro.profiling.Profiler` per scheme.
+        build_kwargs: extra keyword arguments for
+            :meth:`SecureSystem.build` -- either a dict (shared by every
+            scheme) or a ``scheme -> dict`` callable for per-system state
+            such as a fresh :class:`repro.faults.FaultInjector` (injectors
+            hold a private RNG stream and must not be shared between runs).
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup fraction must be in [0, 1)")
@@ -79,12 +85,19 @@ def run_schemes(
         policy: Optional[ThresholdPolicy] = None
         if policy_factory is not None and scheme.startswith("dyn"):
             policy = policy_factory()
+        if build_kwargs is None:
+            extra_kwargs = {}
+        elif callable(build_kwargs):
+            extra_kwargs = build_kwargs(scheme) or {}
+        else:
+            extra_kwargs = dict(build_kwargs)
         system = SecureSystem.build(
             scheme,
             footprint_blocks=trace.footprint_blocks,
             config=config,
             policy=policy,
             static_sbsize=static_sbsize,
+            **extra_kwargs,
         )
         if system_hook is not None:
             system_hook(scheme, system)

@@ -79,6 +79,34 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _fault_build_kwargs(args):
+    """Per-scheme ``SecureSystem.build`` kwargs for the ``--fault-*`` flags.
+
+    Returns None when fault injection is off.  Each scheme gets a *fresh*
+    injector (they hold a private RNG stream), all seeded identically so
+    schemes see the same fault schedule.
+    """
+    transient = getattr(args, "fault_transient", 0.0)
+    delay = getattr(args, "fault_delay", 0.0)
+    if not transient and not delay:
+        return None
+    from repro.faults import FaultConfig, FaultInjector
+
+    fault_config = FaultConfig(
+        seed=args.fault_seed,
+        transient_rate=transient,
+        delay_rate=delay,
+        delay_cycles=args.fault_delay_cycles,
+    )
+
+    def build_kwargs(scheme):
+        if scheme.startswith("dram"):
+            return {}
+        return {"fault_injector": FaultInjector(fault_config)}
+
+    return build_kwargs
+
+
 def cmd_run(args) -> int:
     trace = build_trace(args.workload, args.accesses, seed=args.seed)
     schemes = _parse_schemes(args.schemes)
@@ -91,12 +119,14 @@ def cmd_run(args) -> int:
     if getattr(args, "profile", False):
         def system_hook(scheme, system):
             profilers[scheme] = Profiler().attach(system)
+    faults_on = _fault_build_kwargs(args)
     results = run_schemes(
         trace,
         schemes,
         config=experiment_config(),
         warmup_fraction=args.warmup,
         system_hook=system_hook,
+        build_kwargs=faults_on,
     )
     baseline = results.get("oram") or next(iter(results.values()))
     rows = []
@@ -111,15 +141,38 @@ def cmd_run(args) -> int:
                 r.speedup_over(baseline),
                 r.merges,
                 r.breaks,
+                int(r.extra.get("stash_soft_overflows", 0)),
             ]
         )
     print(
         format_table(
             ["scheme", "cycles", "llc_misses", "mem_accesses",
-             f"speedup_vs_{baseline.scheme}", "merges", "breaks"],
+             f"speedup_vs_{baseline.scheme}", "merges", "breaks", "soft_ovf"],
             rows,
         )
     )
+    if faults_on is not None:
+        print("\nfault injection (seed %d):" % args.fault_seed)
+        fault_rows = []
+        for scheme in schemes:
+            r = results[scheme]
+            fault_rows.append(
+                [
+                    scheme,
+                    int(r.extra.get("injected_transients", 0)),
+                    int(r.extra.get("injected_delays", 0)),
+                    int(r.extra.get("fault_retries", 0)),
+                    int(r.extra.get("fault_delay_cycles", 0)),
+                    int(r.extra.get("forced_evictions", 0)),
+                ]
+            )
+        print(
+            format_table(
+                ["scheme", "transients", "delays", "retries",
+                 "delay_cycles", "forced_evict"],
+                fault_rows,
+            )
+        )
     for scheme in schemes:
         profiler = profilers.get(scheme)
         if profiler is not None and profiler.profile is not None:
@@ -214,6 +267,33 @@ def make_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report simulator throughput (accesses/sec, phase timers, "
         "component counters) per scheme",
+    )
+    run_p.add_argument(
+        "--fault-transient",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="per-access transient read-failure probability (ORAM schemes)",
+    )
+    run_p.add_argument(
+        "--fault-delay",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="per-access delayed-response probability (ORAM schemes)",
+    )
+    run_p.add_argument(
+        "--fault-delay-cycles",
+        type=int,
+        default=200,
+        metavar="CYCLES",
+        help="extra latency per delayed response",
+    )
+    run_p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=1,
+        help="fault-schedule seed (same seed -> same schedule)",
     )
     run_p.set_defaults(func=cmd_run)
 

@@ -130,7 +130,8 @@ class DynamicSuperBlockScheme(SuperBlockScheme):
             # only its prefetch-bit clear has an effect here).
             self._pf_bits[demand] = 0
         # group_base(demand, size) inlined: sizes are validated powers of two.
-        self._run_merge(demand & ~(size - 1), size)
+        if not self._merge_throttled:
+            self._run_merge(demand & ~(size - 1), size)
         return outcome
 
     # ------------------------------------------------------------- Algorithm 2

@@ -1,0 +1,364 @@
+"""The self-healing oblivious access path: detection turned into survival.
+
+:class:`ResilientKVStore` is the :class:`~repro.oram.kv_store.ObliviousKVStore`
+rebuilt for untrusted storage that actually misbehaves.  It runs on the
+Merkle-verified ORAM (every path read checked against the trusted root)
+with a :class:`~repro.faults.injector.FaultInjector` wrapping the bucket
+array, and reacts to failures with a three-rung escalation ladder:
+
+1. **retry** -- transient read failures are retried with bounded,
+   deterministic exponential backoff (jitter from
+   :class:`~repro.utils.rng.DeterministicRng`, so runs replay exactly);
+2. **restore** -- integrity violations (bit-flips, stale-bucket replays)
+   and exhausted retries restore the last good checkpoint and replay the
+   client-side write journal, so no acknowledged write is ever lost;
+3. **fsck** -- after every recovery (and before every checkpoint capture)
+   :func:`~repro.faults.fsck.run_fsck` audits posmap<->tree<->stash
+   consistency and root-hash agreement; an inconsistent store raises
+   :class:`RecoveryError` rather than limping on.
+
+Sustained stash pressure degrades gracefully instead of silently dropping
+into ``stash_soft_overflows``: when occupancy crosses a soft watermark the
+store forces extra background evictions (counted, bounded) before the hard
+capacity is ever at risk.
+
+Durability invariant: a ``put``/``delete`` is journaled *before* its ORAM
+access runs (write-ahead), and the journal is only truncated when a fresh
+checkpoint captures its effects -- so at any instant every acknowledged
+write is recorded in the checkpoint, the journal, or both.  Replay is
+idempotent (a put is a blind overwrite), so at-least-once recovery yields
+exactly the acknowledged state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, TypeVar
+
+from repro.config import ORAMConfig
+from repro.faults.fsck import FsckReport, run_fsck
+from repro.faults.injector import FaultConfig, FaultInjector, TransientReadError
+from repro.oram.checkpoint import dump_oram, load_oram, restore_oram
+from repro.oram.crypto import ProbabilisticCipher
+from repro.oram.integrity import IntegrityViolationError, VerifiedPathORAM
+from repro.oram.kv_store import ObliviousKVStore
+from repro.oram.path_oram import PathORAM
+from repro.utils.rng import DeterministicRng
+
+T = TypeVar("T")
+
+
+class RecoveryError(RuntimeError):
+    """The escalation ladder is exhausted; the store cannot self-heal."""
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the retry / restore / degrade ladder.
+
+    Attributes:
+        max_retries: transient-failure retries per operation before the
+            failure is treated as persistent and escalated to recovery.
+        backoff_base_cycles: base of the exponential backoff; retry ``k``
+            waits ``base * 2**k`` cycles plus deterministic jitter.
+        max_recoveries_per_op: checkpoint recoveries one operation may
+            trigger before :class:`RecoveryError` is raised.
+        checkpoint_interval: acknowledged writes between checkpoint
+            captures (the journal-replay bound after a restore).
+        stash_soft_fraction: stash occupancy fraction above which the
+            store enters degraded mode and forces background evictions.
+        max_forced_evictions: forced evictions per degraded episode.
+    """
+
+    max_retries: int = 4
+    backoff_base_cycles: int = 16
+    max_recoveries_per_op: int = 3
+    checkpoint_interval: int = 128
+    stash_soft_fraction: float = 0.8
+    max_forced_evictions: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if not 0.0 < self.stash_soft_fraction <= 1.0:
+            raise ValueError("stash_soft_fraction must be in (0, 1]")
+
+
+@dataclass
+class RecoveryStats:
+    """Counters of everything the resilient path did to stay alive."""
+
+    transient_faults: int = 0
+    retries: int = 0
+    backoff_cycles: int = 0
+    integrity_violations: int = 0
+    recoveries: int = 0
+    replayed_ops: int = 0
+    fsck_runs: int = 0
+    checkpoints: int = 0
+    forced_evictions: int = 0
+    degraded_events: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "transient_faults": self.transient_faults,
+            "retries": self.retries,
+            "backoff_cycles": self.backoff_cycles,
+            "integrity_violations": self.integrity_violations,
+            "recoveries": self.recoveries,
+            "replayed_ops": self.replayed_ops,
+            "fsck_runs": self.fsck_runs,
+            "checkpoints": self.checkpoints,
+            "forced_evictions": self.forced_evictions,
+            "degraded_events": self.degraded_events,
+        }
+
+
+class ResilientKVStore(ObliviousKVStore):
+    """Oblivious KV store that survives faulty untrusted storage.
+
+    Args:
+        config: ORAM geometry (as for :class:`ObliviousKVStore`).
+        key: symmetric key for the probabilistic cipher.
+        seed: determinism seed (store randomness, backoff jitter, and the
+            recovery RNG forks all derive from it).
+        observer: optional adversary observer.
+        fault_config: fault classes to inject; ``None`` runs fault-free
+            (the injector stays attached but inert, so the access path is
+            identical either way).
+        resilience: ladder parameters (defaults are sensible).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ORAMConfig] = None,
+        key: bytes = b"\x13" * 16,
+        seed: int = 7,
+        observer=None,
+        fault_config: Optional[FaultConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
+    ):
+        self.resilience = resilience or ResilienceConfig()
+        self.injector = FaultInjector(fault_config or FaultConfig())
+        self.recovery = RecoveryStats()
+        super().__init__(config=config, key=key, seed=seed, observer=observer)
+        self._seed = seed
+        self._finish_init()
+
+    # ------------------------------------------------------------- assembly
+    def _make_oram(self, config, rng, observer) -> PathORAM:
+        return VerifiedPathORAM(config, rng, observer=observer, injector=self.injector)
+
+    def _finish_init(self) -> None:
+        """Shared tail of ``__init__`` and :meth:`open`."""
+        rng = DeterministicRng(self._seed)
+        self._backoff_rng = rng.fork(0xBACF)
+        self._recovery_forks = 0
+        self._journal: List[Tuple[str, int, Optional[bytes]]] = []
+        self._writes_since_checkpoint = 0
+        self._stash_soft_limit = max(
+            1, int(self._oram.stash.capacity * self.resilience.stash_soft_fraction)
+        )
+        # Genesis checkpoint: the freshly built (or just restored) store is
+        # known good, so recovery always has somewhere to fall back to.
+        with self.injector.paused():
+            self._last_checkpoint = dump_oram(self._oram)
+        self.recovery.checkpoints += 1
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        key: bytes = b"\x13" * 16,
+        seed: int = 7,
+        observer=None,
+        fault_config: Optional[FaultConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
+    ) -> "ResilientKVStore":
+        """Reopen a checkpoint file as a resilient store."""
+        store = cls.__new__(cls)
+        store.resilience = resilience or ResilienceConfig()
+        store.injector = FaultInjector(fault_config or FaultConfig())
+        store.recovery = RecoveryStats()
+        rng = DeterministicRng(seed)
+        with store.injector.paused():
+            store._oram = restore_oram(
+                path, rng=rng.fork(1), oram_factory=store._oram_factory()
+            )
+        store.config = store._oram.config
+        store.observer = observer
+        store._oram.observer = observer
+        store._cipher = ProbabilisticCipher(key, rng.fork(2))
+        store.capacity = store._oram.position_map.num_blocks
+        store.payload_bytes = store.config.block_bytes
+        store._seed = seed
+        store._finish_init()
+        return store
+
+    def _oram_factory(self) -> Callable[..., PathORAM]:
+        injector = self.injector
+
+        def factory(config, rng, observer=None, populate=True):
+            return VerifiedPathORAM(
+                config, rng, observer=observer, populate=populate, injector=injector
+            )
+
+        return factory
+
+    # ------------------------------------------------------------ operations
+    def get(self, key: int) -> Optional[bytes]:
+        """Read ``key``, healing any storage fault encountered on the way."""
+        self._check_key(key)
+        value = self._guarded(lambda: self._access(key, None))
+        self._relieve_stash()
+        return value
+
+    def put(self, key: int, value: bytes) -> None:
+        """Write ``value`` durably: journaled first, acknowledged only after
+        the (possibly healed) ORAM access completes."""
+        self._check_key(key)
+        if len(value) > self.payload_bytes:
+            raise ValueError(f"value exceeds {self.payload_bytes} bytes")
+        self._journal.append(("put", key, value))
+        self._guarded(lambda: self._access(key, value))
+        self._note_write()
+
+    def delete(self, key: int) -> None:
+        """Reset ``key`` to the unwritten state (journaled like a put)."""
+        self._check_key(key)
+        self._journal.append(("del", key, None))
+        self._guarded(lambda: self._raw_delete(key))
+        self._note_write()
+
+    def _raw_delete(self, key: int) -> None:
+        self._oram.begin_access([key])[key].data = None
+        self._oram.finish_access()
+        self._oram.drain_stash()
+
+    def _note_write(self) -> None:
+        self._writes_since_checkpoint += 1
+        self._relieve_stash()
+        if self._writes_since_checkpoint >= self.resilience.checkpoint_interval:
+            self._take_checkpoint()
+
+    # ------------------------------------------------------ escalation ladder
+    def _guarded(self, op: Callable[[], T]) -> T:
+        """Run one storage operation under the retry -> restore ladder."""
+        resilience = self.resilience
+        stats = self.recovery
+        retries = 0
+        recoveries = 0
+        while True:
+            try:
+                return op()
+            except TransientReadError:
+                stats.transient_faults += 1
+                if retries < resilience.max_retries:
+                    stats.retries += 1
+                    stats.backoff_cycles += self._backoff(retries)
+                    retries += 1
+                    continue
+                # Retries exhausted: the "transient" fault is persistent.
+                recoveries += 1
+                if recoveries > resilience.max_recoveries_per_op:
+                    raise RecoveryError(
+                        "persistent transient failures survived "
+                        f"{recoveries - 1} recoveries"
+                    )
+                self._recover()
+                retries = 0
+            except IntegrityViolationError as exc:
+                stats.integrity_violations += 1
+                recoveries += 1
+                if recoveries > resilience.max_recoveries_per_op:
+                    raise RecoveryError(
+                        f"integrity violations survived {recoveries - 1} "
+                        f"recoveries (last: {exc})"
+                    )
+                self._recover()
+                retries = 0
+
+    def _backoff(self, attempt: int) -> int:
+        """Exponential backoff cycles for retry ``attempt`` (0-based), with
+        deterministic jitter so repeated runs replay exactly."""
+        base = self.resilience.backoff_base_cycles
+        return (base << attempt) + self._backoff_rng.randbelow(max(1, base))
+
+    # --------------------------------------------------------------- recovery
+    def _recover(self) -> None:
+        """Rung 2 + 3: restore the last good checkpoint, replay the journal,
+        then audit the result with fsck."""
+        self.recovery.recoveries += 1
+        self._recovery_forks += 1
+        rng = DeterministicRng(self._seed).fork(0x5EC0 + self._recovery_forks)
+        # Recovery reads the sealed checkpoint store and replays through a
+        # freshly verified tree; the fault model covers steady-state
+        # operation, so injection pauses for the duration.
+        with self.injector.paused():
+            self._oram = load_oram(
+                self._last_checkpoint,
+                rng=rng,
+                observer=self.observer,
+                oram_factory=self._oram_factory(),
+            )
+            for op, key, value in self._journal:
+                if op == "put":
+                    self._access(key, value)
+                else:
+                    self._raw_delete(key)
+                self.recovery.replayed_ops += 1
+            report = self._audit()
+            if not report.ok:
+                raise RecoveryError(f"post-recovery fsck failed:\n{report.summary()}")
+
+    def _audit(self) -> FsckReport:
+        self.recovery.fsck_runs += 1
+        return run_fsck(self._oram)
+
+    def _take_checkpoint(self) -> None:
+        """Capture a new last-good checkpoint and truncate the journal.
+
+        The capture is guarded by a full audit: a checkpoint must never
+        seal in undetected corruption, or recovery would faithfully restore
+        the damage.
+        """
+        with self.injector.paused():
+            if not self._audit().ok:
+                self._recover()
+            self._oram.drain_stash()
+            self._last_checkpoint = dump_oram(self._oram)
+        self._journal.clear()
+        self._writes_since_checkpoint = 0
+        self.recovery.checkpoints += 1
+
+    # ------------------------------------------------------------ degradation
+    def _relieve_stash(self) -> None:
+        """Graceful degradation under sustained stash pressure.
+
+        Forces bounded background evictions once occupancy crosses the soft
+        watermark, well before ``drain_stash`` would give up and record a
+        ``stash_soft_overflow``."""
+        stash = self._oram.stash
+        if len(stash) <= self._stash_soft_limit:
+            return
+        self.recovery.degraded_events += 1
+        forced = 0
+        while (
+            len(stash) > self._stash_soft_limit
+            and forced < self.resilience.max_forced_evictions
+        ):
+            self._guarded(lambda: self._oram.dummy_access("forced"))
+            forced += 1
+        self.recovery.forced_evictions += forced
+
+    # ------------------------------------------------------------------ misc
+    def checkpoint_now(self) -> None:
+        """Force a checkpoint capture (tests and orderly shutdown)."""
+        self._take_checkpoint()
+
+    @property
+    def fault_stats(self):
+        """The injector's :class:`~repro.faults.injector.FaultStats`."""
+        return self.injector.stats

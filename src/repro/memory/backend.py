@@ -47,6 +47,15 @@ class BackendStats:
     dummy_accesses: int = 0
     posmap_accesses: int = 0
     busy_cycles: int = 0
+    # --- fault-injection counters (zero unless a FaultInjector is wired) ---
+    #: transient storage failures observed (each one was retried)
+    transient_faults: int = 0
+    #: retries issued to heal transient failures
+    fault_retries: int = 0
+    #: extra latency charged for delayed responses + retry backoff
+    fault_delay_cycles: int = 0
+    #: background evictions forced by the degradation path (stash pressure)
+    forced_evictions: int = 0
 
     @property
     def total_accesses(self) -> int:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.config import DRAMConfig, ORAMConfig
+from repro.faults.injector import TransientReadError
 from repro.memory.backend import DemandResult, MemoryBackend
 from repro.memory.timing import ORAMTimingModel
 from repro.oram.path_oram import PathORAM
@@ -43,6 +44,14 @@ class ORAMBackend(MemoryBackend):
         scheme: super block strategy (baseline / static / dynamic).
         rng: deterministic randomness.
         observer: optional adversary observer forwarded to the ORAM.
+        fault_injector: optional :class:`repro.faults.FaultInjector`; its
+            ``on_memory_access`` hook runs once per ORAM access and may
+            raise transient failures or add response delay.  ``None`` (the
+            default) keeps the access path bit-identical to the fault-free
+            build.
+        resilience: :class:`repro.faults.ResilienceConfig` tuning the
+            retry backoff and the stash-pressure degradation watermark;
+            defaults apply when a ``fault_injector`` is given without one.
     """
 
     def __init__(
@@ -52,6 +61,8 @@ class ORAMBackend(MemoryBackend):
         scheme: SuperBlockScheme,
         rng: DeterministicRng,
         observer=None,
+        fault_injector=None,
+        resilience=None,
     ):
         super().__init__()
         self.config = oram_config
@@ -77,6 +88,19 @@ class ORAMBackend(MemoryBackend):
         #: optional callback(occupancy) sampled after every demand access
         #: (the stash-occupancy study hooks in here)
         self.stash_sampler: Optional[Callable[[int], None]] = None
+        # ----------------------------------------------- fault resilience
+        self.injector = fault_injector
+        self.resilience = resilience
+        self._stash_soft_limit: Optional[int] = None
+        if fault_injector is not None or resilience is not None:
+            from repro.faults.resilient import ResilienceConfig
+
+            self.resilience = resilience or ResilienceConfig()
+            self._stash_soft_limit = max(
+                1,
+                int(self.oram.stash.capacity * self.resilience.stash_soft_fraction),
+            )
+            self._backoff_rng = rng.fork(0xBACF)
 
     # ----------------------------------------------------------------- wiring
     def set_llc_probe(self, probe: Callable[[int], bool]) -> None:
@@ -90,6 +114,59 @@ class ORAMBackend(MemoryBackend):
 
     def _probe_llc(self, addr: int) -> bool:
         return self._llc_contains(addr)
+
+    # ------------------------------------------------------- fault resilience
+    def _fault_delay(self) -> int:
+        """Model the untrusted channel misbehaving on this access.
+
+        Transient read failures are retried in place -- the timing backend
+        carries no payloads, so a retry is purely a latency event: each
+        attempt charges exponential backoff (capped exponent, deterministic
+        jitter) until the storage responds.  Delayed responses simply add
+        their cycles.  Returns the total extra latency.
+        """
+        injector = self.injector
+        stats = self.stats
+        resilience = self.resilience
+        base = resilience.backoff_base_cycles
+        delay = 0
+        attempt = 0
+        while True:
+            try:
+                delay += injector.on_memory_access()
+                break
+            except TransientReadError:
+                stats.transient_faults += 1
+                stats.fault_retries += 1
+                shift = min(attempt, resilience.max_retries)
+                delay += (base << shift) + self._backoff_rng.randbelow(max(1, base))
+                attempt += 1
+        stats.fault_delay_cycles += delay
+        return delay
+
+    def _relieve_stash(self) -> int:
+        """Degradation rung: merge throttling + forced background evictions.
+
+        Called after the regular ``drain_stash`` pass.  While occupancy
+        sits above the soft watermark, super-block merges are suspended
+        (they amplify stash pressure) and up to ``max_forced_evictions``
+        extra background evictions run; both are counted, and the forced
+        evictions are charged as ordinary path accesses by the caller.
+        """
+        oram = self.oram
+        limit = self._stash_soft_limit
+        throttled = len(oram.stash) > limit
+        self.scheme.set_merge_throttled(throttled)
+        if not throttled:
+            return 0
+        forced = 0
+        while len(oram.stash) > limit and forced < self.resilience.max_forced_evictions:
+            oram.dummy_access(kind="forced")
+            forced += 1
+        self.stats.forced_evictions += forced
+        if len(oram.stash) <= limit:
+            self.scheme.set_merge_throttled(False)
+        return forced
 
     # -------------------------------------------------------------- internals
     def _check_addr(self, addr: int) -> None:
@@ -112,7 +189,10 @@ class ORAMBackend(MemoryBackend):
         oram = self.oram
         stats = self.stats
         scheme = self.scheme
+        fault_delay = self._fault_delay() if self.injector is not None else 0
         evictions = oram.drain_stash()
+        if self._stash_soft_limit is not None:
+            evictions += self._relieve_stash()
         stats.dummy_accesses += evictions
         extra = self.posmap_hierarchy.lookup(addr)
         stats.posmap_accesses += extra
@@ -137,7 +217,7 @@ class ORAMBackend(MemoryBackend):
         oram.finish_access()
         path_accesses = evictions + extra + 1
         # timing.access_cycles inlined: a constant multiply per access.
-        latency = path_accesses * self.timing.path_cycles
+        latency = path_accesses * self.timing.path_cycles + fault_delay
         completion = start + latency
         self.busy_until = completion
         stats.memory_accesses += extra + 1

@@ -43,8 +43,18 @@ class PeriodicORAMBackend(ORAMBackend):
         rng: DeterministicRng,
         timing_protection: TimingProtectionConfig,
         observer=None,
+        fault_injector=None,
+        resilience=None,
     ):
-        super().__init__(oram_config, dram_config, scheme, rng, observer=observer)
+        super().__init__(
+            oram_config,
+            dram_config,
+            scheme,
+            rng,
+            observer=observer,
+            fault_injector=fault_injector,
+            resilience=resilience,
+        )
         if timing_protection.interval_cycles < 0:
             raise ValueError("Oint must be non-negative")
         self.interval = timing_protection.interval_cycles

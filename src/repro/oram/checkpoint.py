@@ -11,13 +11,27 @@ bits), every bucket's blocks (address, leaf, optional payload), the stash,
 and access counters.  RNG state is intentionally *not* captured -- a
 restored ORAM continues with fresh randomness, exactly like a rebooted
 device, and stays oblivious.
+
+Robustness guarantees (the recovery subsystem depends on both):
+
+* :func:`save_oram` is crash-safe: the document is written to a temporary
+  file in the target directory and atomically renamed over the
+  destination, so a failure mid-save can never clobber the last good
+  checkpoint.
+* :func:`load_oram` validates everything it reads and reports problems as
+  :class:`CheckpointError` with a descriptive message -- a malformed or
+  mismatched document never surfaces bare ``KeyError``/``TypeError``
+  internals.
 """
 
 from __future__ import annotations
 
 import base64
+import binascii
 import json
-from typing import Optional
+import os
+import tempfile
+from typing import Callable, Optional
 
 from repro.config import ORAMConfig
 from repro.oram.block import Block
@@ -27,6 +41,10 @@ from repro.utils.rng import DeterministicRng
 FORMAT_VERSION = 1
 
 
+class CheckpointError(ValueError):
+    """A checkpoint document is malformed or inconsistent with its config."""
+
+
 def _encode_block(block: Block) -> dict:
     out = {"a": block.addr, "l": block.leaf}
     if block.data is not None:
@@ -34,9 +52,12 @@ def _encode_block(block: Block) -> dict:
     return out
 
 
-def _decode_block(raw: dict) -> Block:
-    data = base64.b64decode(raw["d"]) if "d" in raw else None
-    return Block(raw["a"], raw["l"], data)
+def _decode_block(raw: dict, where: str) -> Block:
+    try:
+        data = base64.b64decode(raw["d"]) if "d" in raw else None
+        return Block(raw["a"], raw["l"], data)
+    except (KeyError, TypeError, binascii.Error) as exc:
+        raise CheckpointError(f"malformed block record in {where}: {exc!r}") from exc
 
 
 def dump_oram(oram: PathORAM) -> str:
@@ -78,10 +99,23 @@ def dump_oram(oram: PathORAM) -> str:
     return json.dumps(state)
 
 
+_REQUIRED_KEYS = (
+    "config",
+    "leaves",
+    "merge_bits",
+    "break_bits",
+    "prefetch_bits",
+    "buckets",
+    "stash",
+    "counters",
+)
+
+
 def load_oram(
     payload: str,
     rng: Optional[DeterministicRng] = None,
     observer=None,
+    oram_factory: Optional[Callable[..., PathORAM]] = None,
 ) -> PathORAM:
     """Restore a Path ORAM from :func:`dump_oram` output.
 
@@ -90,47 +124,126 @@ def load_oram(
         rng: fresh randomness for the restored instance (a new seed is
             fine -- and preferable, see the module docstring).
         observer: optional adversary observer to attach.
+        oram_factory: optional constructor with the :class:`PathORAM`
+            signature ``factory(config, rng, observer=..., populate=...)``;
+            lets callers restore into a subclass (the Merkle-verified ORAM
+            of the recovery path).  Derived structures are rebuilt via
+            :meth:`PathORAM.rebuild_auxiliary` after the state is
+            installed.
+
+    Raises:
+        CheckpointError: the document is malformed, from an unsupported
+            version, or inconsistent with its own geometry.
     """
-    state = json.loads(payload)
+    try:
+        state = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"malformed checkpoint document: {exc}") from exc
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            f"malformed checkpoint document: expected an object, "
+            f"got {type(state).__name__}"
+        )
     if state.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported checkpoint version {state.get('version')!r}")
-    config = ORAMConfig(**state["config"])
-    oram = PathORAM(
-        config, rng or DeterministicRng(0xC8C8), observer=observer, populate=False
-    )
+        raise CheckpointError(
+            f"unsupported checkpoint version {state.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in state]
+    if missing:
+        raise CheckpointError(f"checkpoint document missing keys: {missing}")
+    try:
+        config = ORAMConfig(**state["config"])
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"invalid checkpoint geometry: {exc}") from exc
+    factory = oram_factory or PathORAM
+    oram = factory(config, rng or DeterministicRng(0xC8C8), observer=observer, populate=False)
     oram._populated = True  # state arrives fully formed
     posmap = oram.position_map
     n = posmap.num_blocks
-    if len(state["leaves"]) != n:
-        raise ValueError(
-            f"checkpoint holds {len(state['leaves'])} blocks, config implies {n}"
-        )
-    for addr in range(n):
-        posmap.set_leaf(addr, state["leaves"][addr])
-        posmap.set_merge_bit(addr, state["merge_bits"][addr])
-        posmap.set_break_bit(addr, state["break_bits"][addr])
-        posmap.set_prefetch_bit(addr, state["prefetch_bits"][addr])
+    for name in ("leaves", "merge_bits", "break_bits", "prefetch_bits"):
+        if len(state[name]) != n:
+            raise CheckpointError(
+                f"checkpoint holds {len(state[name])} {name}, "
+                f"config implies {n} blocks"
+            )
+    try:
+        for addr in range(n):
+            posmap.set_leaf(addr, state["leaves"][addr])
+            posmap.set_merge_bit(addr, state["merge_bits"][addr])
+            posmap.set_break_bit(addr, state["break_bits"][addr])
+            posmap.set_prefetch_bit(addr, state["prefetch_bits"][addr])
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise CheckpointError(f"invalid position map entry: {exc}") from exc
     if len(state["buckets"]) != oram.tree.num_buckets:
-        raise ValueError("bucket count mismatch")
+        raise CheckpointError(
+            f"checkpoint holds {len(state['buckets'])} buckets, "
+            f"tree geometry implies {oram.tree.num_buckets}"
+        )
     for index, raw_bucket in enumerate(state["buckets"]):
-        oram.tree._buckets[index] = [_decode_block(raw) for raw in raw_bucket]
+        oram.tree._buckets[index] = [
+            _decode_block(raw, f"bucket {index}") for raw in raw_bucket
+        ]
+    if len(state["stash"]) > config.stash_blocks:
+        raise CheckpointError(
+            f"checkpoint stash holds {len(state['stash'])} blocks, "
+            f"configured stash capacity is {config.stash_blocks}"
+        )
     for raw in state["stash"]:
-        oram.stash.add(_decode_block(raw))
+        oram.stash.add(_decode_block(raw, "stash"))
     counters = state["counters"]
-    oram.real_accesses = counters["real_accesses"]
-    oram.dummy_accesses = counters["dummy_accesses"]
-    oram.stash_soft_overflows = counters["stash_soft_overflows"]
-    oram.check_invariants()
+    try:
+        oram.real_accesses = counters["real_accesses"]
+        oram.dummy_accesses = counters["dummy_accesses"]
+        oram.stash_soft_overflows = counters["stash_soft_overflows"]
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed checkpoint counters: {exc!r}") from exc
+    oram.rebuild_auxiliary()
+    try:
+        oram.check_invariants()
+    except AssertionError as exc:
+        raise CheckpointError(f"checkpoint violates ORAM invariants: {exc}") from exc
     return oram
 
 
+def _atomic_write(path: str, payload: str) -> None:
+    """Write ``payload`` to ``path`` via a same-directory temp + rename.
+
+    ``os.replace`` is atomic on POSIX and Windows, so a crash (or raised
+    exception) at any point leaves either the old file or the new file --
+    never a torn mixture.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 def save_oram(oram: PathORAM, path: str) -> None:
-    """Write a checkpoint file."""
-    with open(path, "w") as handle:
-        handle.write(dump_oram(oram))
+    """Write a checkpoint file crash-safely (temp file + atomic rename)."""
+    _atomic_write(path, dump_oram(oram))
 
 
-def restore_oram(path: str, rng: Optional[DeterministicRng] = None) -> PathORAM:
+def restore_oram(
+    path: str,
+    rng: Optional[DeterministicRng] = None,
+    observer=None,
+    oram_factory: Optional[Callable[..., PathORAM]] = None,
+) -> PathORAM:
     """Read a checkpoint file."""
     with open(path) as handle:
-        return load_oram(handle.read(), rng=rng)
+        return load_oram(
+            handle.read(), rng=rng, observer=observer, oram_factory=oram_factory
+        )

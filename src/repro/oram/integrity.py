@@ -133,9 +133,18 @@ class VerifiedPathORAM(PathORAM):
     Every path read is verified against the trusted root before the blocks
     enter the stash, and every path write refreshes the hashes -- at zero
     extra memory accesses, since the Merkle nodes ride the path.
+
+    An optional :class:`~repro.faults.injector.FaultInjector` models the
+    untrusted storage misbehaving: it runs immediately before each path
+    verification, so whatever it corrupts is subjected to exactly the check
+    the hardware would apply.  Detection then surfaces as
+    :class:`IntegrityViolationError` to the resilient access path, which
+    escalates to checkpoint recovery (see :mod:`repro.faults.resilient`).
     """
 
-    def __init__(self, *args, **kwargs):
+    def __init__(self, *args, injector=None, **kwargs):
+        self.injector = injector
+        self.injected_delay_cycles = 0
         super().__init__(*args, **kwargs)
         self.merkle = MerkleTree(self.tree)
         self.verified_paths = 0
@@ -144,7 +153,13 @@ class VerifiedPathORAM(PathORAM):
         super().populate()
         self.merkle = MerkleTree(self.tree)
 
+    def rebuild_auxiliary(self) -> None:
+        """Recompute the hash tree after a checkpoint restore installed state."""
+        self.merkle = MerkleTree(self.tree)
+
     def _before_path_read(self, leaf: int) -> None:
+        if self.injector is not None:
+            self.injected_delay_cycles += self.injector.on_path_read(self.tree, leaf)
         self.merkle.verify_path(leaf)
         self.verified_paths += 1
 

@@ -46,10 +46,15 @@ class ObliviousKVStore:
         self.config = config or ORAMConfig(levels=8)
         rng = DeterministicRng(seed)
         self.observer = observer
-        self._oram = PathORAM(self.config, rng.fork(1), observer=observer)
+        self._oram = self._make_oram(self.config, rng.fork(1), observer)
         self._cipher = ProbabilisticCipher(key, rng.fork(2))
         self.capacity = self._oram.position_map.num_blocks
         self.payload_bytes = self.config.block_bytes
+
+    def _make_oram(self, config: ORAMConfig, rng: DeterministicRng, observer) -> PathORAM:
+        """ORAM constructor hook; the resilient store swaps in the
+        Merkle-verified variant with a fault injector attached."""
+        return PathORAM(config, rng, observer=observer)
 
     def _check_key(self, key: int) -> None:
         if not 0 <= key < self.capacity:
@@ -61,8 +66,14 @@ class ObliviousKVStore:
         Reads and writes are indistinguishable: both perform the same path
         access and re-encryption (probabilistic encryption hides whether
         the payload changed).
+
+        The payload is updated between ``begin_access`` and
+        ``finish_access`` -- while the block is physically in the stash --
+        so the write-back commits the new content.  An integrity layer
+        (Merkle hashes ride the path write-back) therefore always hashes
+        what was actually stored.
         """
-        block = self._oram.access([key])[key]
+        block = self._oram.begin_access([key])[key]
         old = None
         if block.data is not None:
             old = self._cipher.decrypt(block.data)
@@ -71,6 +82,7 @@ class ObliviousKVStore:
         elif block.data is not None:
             # Re-encrypt on reads too, so ciphertexts never repeat.
             block.data = self._cipher.encrypt(old)
+        self._oram.finish_access()
         self._oram.drain_stash()
         return old
 
@@ -89,7 +101,8 @@ class ObliviousKVStore:
     def delete(self, key: int) -> None:
         """Reset a key to the unwritten state (obliviously: same as a put)."""
         self._check_key(key)
-        self._oram.access([key])[key].data = None
+        self._oram.begin_access([key])[key].data = None
+        self._oram.finish_access()
         self._oram.drain_stash()
 
     @property

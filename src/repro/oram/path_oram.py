@@ -297,6 +297,14 @@ class PathORAM:
     def _after_path_write(self, leaf: int) -> None:
         """Hook after a path is written back (integrity update attaches here)."""
 
+    def rebuild_auxiliary(self) -> None:
+        """Rebuild derived structures after state was installed externally.
+
+        Called by checkpoint restore once the tree/stash/posmap contents are
+        in place.  The base ORAM derives nothing from its contents; the
+        Merkle-verified subclass rebuilds its hash tree here.
+        """
+
     # -------------------------------------------------------------- eviction
     def _evict_path(self, leaf: int) -> None:
         """Greedy write-back of the stash onto path ``leaf`` (protocol step 5).

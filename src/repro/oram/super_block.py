@@ -145,6 +145,7 @@ class SuperBlockScheme(ABC):
         self._oram: Optional[PathORAM] = None
         self._llc_contains: Callable[[int], bool] = lambda addr: False
         self._tracker: Optional[PrefetchTracker] = None
+        self._merge_throttled = False
 
     def attach(self, oram: PathORAM, llc_contains: Callable[[int], bool]) -> None:
         self._oram = oram
@@ -169,6 +170,16 @@ class SuperBlockScheme(ABC):
     def threshold_listener(self):
         """Adaptive-threshold policy to notify of prefetch events (or None)."""
         return None
+
+    def set_merge_throttled(self, throttled: bool) -> None:
+        """Graceful degradation under stash pressure.
+
+        Merging grows super blocks, and bigger super blocks push more
+        blocks through the stash per access; when the resilient backend
+        sees occupancy cross its soft watermark it suspends merges until
+        pressure subsides.  Breaks stay enabled -- they *relieve* pressure.
+        """
+        self._merge_throttled = throttled
 
     def initialize(self) -> None:
         """Adjust the position map before the ORAM is populated (default: no-op)."""

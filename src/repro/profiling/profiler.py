@@ -205,6 +205,13 @@ class Profiler:
         if oram is not None:
             counters["stash_max_occupancy"] = oram.stash.max_occupancy
             counters["stash_soft_overflows"] = oram.stash_soft_overflows
+        injector = getattr(system.backend, "injector", None)
+        if injector is not None:
+            counters["transient_faults"] = stats.transient_faults
+            counters["fault_retries"] = stats.fault_retries
+            counters["fault_delay_cycles"] = stats.fault_delay_cycles
+            counters["forced_evictions"] = stats.forced_evictions
+            counters["injected_faults"] = injector.stats.total_injected
         scheme = getattr(system.backend, "scheme", None)
         if scheme is not None:
             counters["merges"] = scheme.stats.merges

@@ -128,10 +128,14 @@ class SimResult:
 
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        text = (
             f"{self.workload}/{self.scheme}: {self.cycles} cycles, "
             f"{self.llc_misses} LLC misses, "
             f"{self.total_memory_accesses} memory accesses "
             f"({self.dummy_accesses} dummy), "
             f"{self.merges} merges, {self.breaks} breaks"
         )
+        soft = self.extra.get("stash_soft_overflows", 0)
+        if soft:
+            text += f", {int(soft)} stash soft overflows"
+        return text

@@ -77,6 +77,8 @@ class SecureSystem:
         policy: Optional[ThresholdPolicy] = None,
         static_sbsize: Optional[int] = None,
         observer=None,
+        fault_injector=None,
+        resilience=None,
     ) -> "SecureSystem":
         """Assemble a system for one of the paper's configurations.
 
@@ -101,6 +103,11 @@ class SecureSystem:
             static_sbsize: super block size for ``stat`` (default: the
                 configured max super block size).
             observer: optional adversary observer for ORAM variants.
+            fault_injector: optional :class:`repro.faults.FaultInjector`
+                attached to ORAM backends (storage fault modelling);
+                rejected for ``dram``.
+            resilience: optional :class:`repro.faults.ResilienceConfig`
+                for the backend's retry/degradation ladder.
         """
         config = config or SystemConfig()
         rng = DeterministicRng(config.seed)
@@ -126,6 +133,8 @@ class SecureSystem:
         if base_scheme == "dram":
             if periodic:
                 raise ValueError("periodic accesses only apply to ORAM backends")
+            if fault_injector is not None or resilience is not None:
+                raise ValueError("fault injection models ORAM storage, not DRAM")
             backend: MemoryBackend = DRAMBackend(config.dram, config.oram.block_bytes)
             return cls(config, backend, label=scheme, prefetcher=prefetcher)
 
@@ -141,10 +150,18 @@ class SecureSystem:
                 if config.timing_protection.interval_cycles
                 else replace(config.timing_protection, interval_cycles=100),
                 observer=observer,
+                fault_injector=fault_injector,
+                resilience=resilience,
             )
         else:
             backend = ORAMBackend(
-                oram_config, config.dram, sb_scheme, rng.fork(11), observer=observer
+                oram_config,
+                config.dram,
+                sb_scheme,
+                rng.fork(11),
+                observer=observer,
+                fault_injector=fault_injector,
+                resilience=resilience,
             )
         return cls(config, backend, label=scheme, prefetcher=prefetcher)
 
@@ -332,4 +349,15 @@ class SecureSystem:
             result.prefetched_blocks = scheme_stats.prefetched_blocks
             result.prefetch_hits = scheme_stats.prefetch_hits
             result.prefetch_misses = scheme_stats.prefetch_misses
+            # Robustness counters ride in ``extra`` so the pinned golden
+            # result schema (and every fault-free consumer) is untouched.
+            result.extra["stash_soft_overflows"] = backend.oram.stash_soft_overflows
+            if backend.injector is not None or backend.resilience is not None:
+                result.extra["transient_faults"] = stats.transient_faults
+                result.extra["fault_retries"] = stats.fault_retries
+                result.extra["fault_delay_cycles"] = stats.fault_delay_cycles
+                result.extra["forced_evictions"] = stats.forced_evictions
+            if backend.injector is not None:
+                for name, value in backend.injector.stats.as_dict().items():
+                    result.extra[f"injected_{name}"] = value
         return result

@@ -1,9 +1,18 @@
 """Unit tests for ORAM checkpoint / restore."""
 
+import json
+import os
+
 import pytest
 
 from repro.config import ORAMConfig
-from repro.oram.checkpoint import dump_oram, load_oram, restore_oram, save_oram
+from repro.oram.checkpoint import (
+    CheckpointError,
+    dump_oram,
+    load_oram,
+    restore_oram,
+    save_oram,
+)
 from repro.oram.path_oram import PathORAM
 from repro.utils.rng import DeterministicRng
 
@@ -80,24 +89,18 @@ class TestValidation:
         oram.finish_access()
 
     def test_version_check(self):
-        import json
-
         state = json.loads(dump_oram(make_oram()))
         state["version"] = 999
-        with pytest.raises(ValueError):
+        with pytest.raises(CheckpointError, match="unsupported checkpoint version"):
             load_oram(json.dumps(state))
 
     def test_truncated_state_rejected(self):
-        import json
-
         state = json.loads(dump_oram(make_oram()))
         state["leaves"] = state["leaves"][:-1]
-        with pytest.raises(ValueError):
+        with pytest.raises(CheckpointError, match="leaves"):
             load_oram(json.dumps(state))
 
     def test_corrupted_bucket_caught_by_invariants(self):
-        import json
-
         state = json.loads(dump_oram(make_oram()))
         # Move a block to a bucket off its path: restore must refuse.
         for index, bucket in enumerate(state["buckets"]):
@@ -107,5 +110,120 @@ class TestValidation:
                 block["l"] = (block["l"] + 7) % 32
                 state["buckets"][target].append(block)
                 break
-        with pytest.raises(AssertionError):
+        with pytest.raises(CheckpointError, match="invariants"):
             load_oram(json.dumps(state))
+
+    def test_checkpoint_error_is_value_error(self):
+        # Callers that guarded restore with `except ValueError` keep working.
+        assert issubclass(CheckpointError, ValueError)
+
+    def test_garbage_document(self):
+        with pytest.raises(CheckpointError, match="malformed checkpoint document"):
+            load_oram("{not json")
+
+    def test_non_object_document(self):
+        with pytest.raises(CheckpointError, match="expected an object"):
+            load_oram("[1, 2, 3]")
+
+    def test_missing_keys_named(self):
+        state = json.loads(dump_oram(make_oram()))
+        del state["stash"]
+        del state["counters"]
+        with pytest.raises(CheckpointError, match="missing keys.*stash"):
+            load_oram(json.dumps(state))
+
+    def test_bad_geometry_reported(self):
+        state = json.loads(dump_oram(make_oram()))
+        state["config"]["levels"] = -3
+        with pytest.raises(CheckpointError, match="invalid checkpoint geometry"):
+            load_oram(json.dumps(state))
+
+    def test_unknown_config_field_reported(self):
+        state = json.loads(dump_oram(make_oram()))
+        state["config"]["warp_factor"] = 9
+        with pytest.raises(CheckpointError, match="invalid checkpoint geometry"):
+            load_oram(json.dumps(state))
+
+    def test_malformed_block_record_locates_bucket(self):
+        state = json.loads(dump_oram(make_oram()))
+        for index, bucket in enumerate(state["buckets"]):
+            if bucket:
+                del bucket[0]["a"]
+                break
+        with pytest.raises(CheckpointError, match=f"bucket {index}"):
+            load_oram(json.dumps(state))
+
+    def test_bad_base64_payload_reported(self):
+        state = json.loads(dump_oram(make_oram()))
+        for bucket in state["buckets"]:
+            if bucket:
+                bucket[0]["d"] = "!!!not-base64!!!"
+                break
+        with pytest.raises(CheckpointError, match="malformed block record"):
+            load_oram(json.dumps(state))
+
+    def test_oversized_stash_rejected(self):
+        oram = make_oram()
+        state = json.loads(dump_oram(oram))
+        donor = next(b[0] for b in state["buckets"] if b)
+        state["stash"] = [dict(donor) for _ in range(oram.config.stash_blocks + 1)]
+        with pytest.raises(CheckpointError, match="stash"):
+            load_oram(json.dumps(state))
+
+    def test_malformed_counters_reported(self):
+        state = json.loads(dump_oram(make_oram()))
+        del state["counters"]["real_accesses"]
+        with pytest.raises(CheckpointError, match="counters"):
+            load_oram(json.dumps(state))
+
+
+class TestCrashSafety:
+    """``save_oram`` must never tear or clobber the previous checkpoint."""
+
+    def test_failed_save_preserves_old_checkpoint(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "oram.ckpt")
+        oram = make_oram()
+        save_oram(oram, path)
+        good = open(path).read()
+
+        # Simulate the process dying mid-write: fsync explodes after the
+        # payload has been (partially) written to the temp file.
+        def boom(fd):
+            raise OSError("simulated crash mid-save")
+
+        oram.access([1])
+        monkeypatch.setattr(os, "fsync", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_oram(oram, path)
+        monkeypatch.undo()
+
+        # Old checkpoint intact, no temp-file litter.
+        assert open(path).read() == good
+        assert os.listdir(tmp_path) == ["oram.ckpt"]
+        restore_oram(path).check_invariants()
+
+    def test_save_goes_through_rename(self, tmp_path, monkeypatch):
+        # The destination must never be opened for writing directly.
+        path = str(tmp_path / "oram.ckpt")
+        replaced = {}
+        real_replace = os.replace
+
+        def spy(src, dst):
+            replaced["src"] = src
+            replaced["dst"] = dst
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        save_oram(make_oram(), path)
+        assert replaced["dst"] == path
+        assert replaced["src"] != path
+        assert os.path.dirname(replaced["src"]) == os.path.dirname(path)
+
+    def test_save_overwrites_previous(self, tmp_path):
+        path = str(tmp_path / "oram.ckpt")
+        oram = make_oram()
+        save_oram(oram, path)
+        oram.access([2])
+        save_oram(oram, path)
+        restored = restore_oram(path)
+        assert restored.real_accesses == oram.real_accesses

@@ -1,0 +1,366 @@
+"""Tests for the fault-injection harness and the self-healing access path.
+
+Covers the injector (schedule determinism, every fault class), the fsck
+auditor (planted inconsistencies of each kind), the resilient KV store
+(mini-soak under mixed faults with shadow verification, recovery
+escalation, checkpoint durability), and the timing backend's retry /
+degradation wiring (including bit-identical behaviour with faults off).
+"""
+
+import pytest
+
+from repro.config import ORAMConfig
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    FsckError,
+    RecoveryError,
+    ResilienceConfig,
+    ResilientKVStore,
+    TransientReadError,
+    assert_consistent,
+    run_fsck,
+)
+from repro.oram.block import Block
+from repro.oram.integrity import IntegrityViolationError, VerifiedPathORAM
+from repro.oram.kv_store import ObliviousKVStore
+from repro.sim.system import SecureSystem
+from repro.utils.rng import DeterministicRng
+from repro.workloads.synthetic import locality_mix_trace
+
+
+def small_config(**overrides):
+    defaults = dict(levels=6, bucket_size=4, stash_blocks=40, utilization=0.5)
+    defaults.update(overrides)
+    return ORAMConfig(**defaults)
+
+
+MIXED_FAULTS = FaultConfig(
+    seed=11,
+    bitflip_rate=0.01,
+    replay_rate=0.005,
+    transient_rate=0.02,
+    delay_rate=0.01,
+    start_after=20,
+)
+
+
+def run_workload(store, ops, seed=99, shadow=None):
+    """Mixed put/get workload verified against a shadow dict as it runs."""
+    shadow = {} if shadow is None else shadow
+    rng = DeterministicRng(seed)
+    for i in range(ops):
+        key = rng.randbelow(store.capacity)
+        if rng.randbelow(100) < 60:
+            value = bytes([i % 251]) * (1 + rng.randbelow(8))
+            store.put(key, value)
+            shadow[key] = value
+        else:
+            assert store.get(key) == shadow.get(key)
+    return shadow
+
+
+# =========================================================== injector
+class TestFaultConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(bitflip_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(transient_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(delay_cycles=-1)
+
+    def test_any_enabled(self):
+        assert not FaultConfig().any_enabled
+        assert FaultConfig(delay_rate=0.5).any_enabled
+
+
+class TestFaultInjector:
+    def test_transient_raises_and_counts(self):
+        injector = FaultInjector(FaultConfig(transient_rate=1.0))
+        with pytest.raises(TransientReadError):
+            injector.on_memory_access()
+        assert injector.stats.transients == 1
+        assert injector.stats.total_injected == 1
+
+    def test_delay_returns_cycles(self):
+        injector = FaultInjector(FaultConfig(delay_rate=1.0, delay_cycles=77))
+        assert injector.on_memory_access() == 77
+        assert injector.stats.delay_cycles == 77
+
+    def test_paused_suspends_injection(self):
+        injector = FaultInjector(FaultConfig(transient_rate=1.0))
+        with injector.paused():
+            assert injector.on_memory_access() == 0
+        assert injector.stats.transients == 0
+        with pytest.raises(TransientReadError):
+            injector.on_memory_access()
+
+    def test_start_after_grace_period(self):
+        injector = FaultInjector(FaultConfig(transient_rate=1.0, start_after=3))
+        for _ in range(3):
+            assert injector.on_memory_access() == 0
+        with pytest.raises(TransientReadError):
+            injector.on_memory_access()
+
+    def test_schedule_is_deterministic(self):
+        def schedule(seed):
+            injector = FaultInjector(
+                FaultConfig(seed=seed, transient_rate=0.3, delay_rate=0.3)
+            )
+            events = []
+            for _ in range(200):
+                try:
+                    events.append(injector.on_memory_access())
+                except TransientReadError:
+                    events.append("T")
+            return events, injector.stats.as_dict()
+
+        assert schedule(5) == schedule(5)
+        events_a, _ = schedule(5)
+        events_b, _ = schedule(6)
+        assert events_a != events_b
+
+    def test_bitflip_caught_by_merkle(self):
+        injector = FaultInjector(FaultConfig(bitflip_rate=1.0))
+        oram = VerifiedPathORAM(small_config(), DeterministicRng(3), injector=injector)
+        with pytest.raises(IntegrityViolationError):
+            for addr in range(50):
+                oram.access([addr])
+        assert injector.stats.bitflips >= 1
+
+    def test_replay_caught_by_merkle(self):
+        injector = FaultInjector(FaultConfig(replay_rate=1.0))
+        oram = VerifiedPathORAM(small_config(), DeterministicRng(3), injector=injector)
+        with pytest.raises(IntegrityViolationError):
+            # Same address repeatedly: its remapped path keeps crossing the
+            # snapshotted buckets, so a stale image lands quickly.
+            for _ in range(100):
+                oram.access([1])
+        assert injector.stats.replays >= 1
+
+
+# =============================================================== fsck
+class TestFsck:
+    def make_oram(self):
+        return VerifiedPathORAM(small_config(), DeterministicRng(3))
+
+    def test_clean_store_passes(self):
+        oram = self.make_oram()
+        for addr in range(20):
+            oram.access([addr])
+        report = assert_consistent(oram)
+        assert report.ok
+        assert report.root_hash_checked
+        assert (
+            report.blocks_in_tree + report.blocks_in_stash == report.expected_blocks
+        )
+
+    def test_wrong_leaf_detected(self):
+        oram = self.make_oram()
+        for bucket in oram.tree._buckets:
+            if bucket:
+                bucket[0].leaf ^= 1
+                break
+        report = run_fsck(oram)
+        assert not report.ok
+        assert any("leaf" in error for error in report.errors)
+
+    def test_duplicate_block_detected(self):
+        oram = self.make_oram()
+        donor = next(b for b in oram.tree._buckets if b)
+        oram.stash.add(Block(donor[0].addr, donor[0].leaf))
+        report = run_fsck(oram)
+        assert not report.ok
+        assert any("stash" in error for error in report.errors)
+
+    def test_lost_block_detected(self):
+        oram = self.make_oram()
+        donor = next(b for b in oram.tree._buckets if b)
+        donor.pop()
+        report = run_fsck(oram)
+        assert any("census" in error for error in report.errors)
+
+    def test_root_hash_disagreement_detected(self):
+        oram = self.make_oram()
+        donor = next(b for b in oram.tree._buckets if b)
+        # Payload-only mutation: census and placement stay legal, so only
+        # the root-hash recomputation can catch it.
+        donor[0].data = b"tampered"
+        report = run_fsck(oram)
+        assert any("root hash" in error for error in report.errors)
+
+    def test_assert_consistent_raises(self):
+        oram = self.make_oram()
+        next(b for b in oram.tree._buckets if b)[0].leaf ^= 1
+        with pytest.raises(FsckError) as excinfo:
+            assert_consistent(oram)
+        assert excinfo.value.report.errors
+
+    def test_error_accumulation_capped(self):
+        oram = self.make_oram()
+        for bucket in oram.tree._buckets:
+            for block in bucket:
+                block.leaf ^= 1
+        report = run_fsck(oram, max_errors=4)
+        assert len(report.errors) == 4
+
+
+# ==================================================== resilient store
+class TestResilientKVStore:
+    def make_store(self, fault_config=MIXED_FAULTS, **resilience_overrides):
+        resilience = ResilienceConfig(checkpoint_interval=32, **resilience_overrides)
+        return ResilientKVStore(
+            small_config(), fault_config=fault_config, resilience=resilience, seed=5
+        )
+
+    def test_mini_soak_no_lost_writes(self):
+        store = self.make_store()
+        shadow = run_workload(store, 700)
+        for key, value in shadow.items():
+            assert store.get(key) == value
+        assert store.fault_stats.total_injected > 0
+        assert store.recovery.retries > 0
+        assert store.recovery.recoveries > 0
+        assert_consistent(store.oram)
+
+    def test_fault_free_matches_plain_store(self):
+        resilient = self.make_store(fault_config=FaultConfig())
+        plain = ObliviousKVStore(small_config(), seed=5)
+        shadow_r = run_workload(resilient, 300)
+        shadow_p = run_workload(plain, 300)
+        assert shadow_r == shadow_p
+        assert store_values(resilient, shadow_r) == store_values(plain, shadow_p)
+        assert resilient.fault_stats.total_injected == 0
+        assert resilient.recovery.recoveries == 0
+
+    def test_same_fault_seed_same_counters(self):
+        # Acceptance criterion: same fault seed => same schedule, same
+        # retry/recovery counters, byte for byte.
+        def one_run():
+            store = self.make_store()
+            run_workload(store, 400)
+            return store.fault_stats.as_dict(), store.recovery.as_dict()
+
+        assert one_run() == one_run()
+
+    def test_different_fault_seed_different_schedule(self):
+        def one_run(seed):
+            config = FaultConfig(
+                seed=seed,
+                bitflip_rate=0.01,
+                replay_rate=0.005,
+                transient_rate=0.02,
+                delay_rate=0.01,
+                start_after=20,
+            )
+            store = self.make_store(fault_config=config)
+            run_workload(store, 400)
+            return store.fault_stats.as_dict()
+
+        assert one_run(11) != one_run(12)
+
+    def test_persistent_failure_escalates_to_recovery_error(self):
+        store = self.make_store(
+            fault_config=FaultConfig(transient_rate=1.0), max_retries=2
+        )
+        with pytest.raises(RecoveryError):
+            store.put(1, b"x")
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        store = self.make_store()
+        shadow = run_workload(store, 200)
+        store.checkpoint_now()
+        path = str(tmp_path / "store.ckpt")
+        with store.injector.paused():
+            store.save(path)
+        reopened = ResilientKVStore.open(
+            path, seed=5, fault_config=FaultConfig(), resilience=ResilienceConfig()
+        )
+        for key, value in shadow.items():
+            assert reopened.get(key) == value
+        assert_consistent(reopened.oram)
+
+    def test_forced_evictions_relieve_stash(self):
+        # High utilization + Z=2 keeps residual stash occupancy above a
+        # tight soft watermark, so the degradation rung must kick in.
+        store = ResilientKVStore(
+            small_config(bucket_size=2, utilization=0.9),
+            fault_config=FaultConfig(),
+            resilience=ResilienceConfig(
+                checkpoint_interval=32,
+                stash_soft_fraction=0.1,
+                max_forced_evictions=4,
+            ),
+            seed=5,
+        )
+        run_workload(store, 200)
+        assert store.recovery.degraded_events > 0
+        assert store.recovery.forced_evictions > 0
+        assert len(store.oram.stash) <= store.oram.stash.capacity
+
+
+def store_values(store, shadow):
+    return {key: store.get(key) for key in sorted(shadow)}
+
+
+# ==================================================== timing backend
+class TestBackendFaults:
+    def run_system(self, fault_injector=None, resilience=None, scheme="dyn"):
+        trace = locality_mix_trace(0.8, accesses=4000)
+        system = SecureSystem.build(
+            scheme,
+            footprint_blocks=trace.footprint_blocks,
+            fault_injector=fault_injector,
+            resilience=resilience,
+        )
+        return system.run(trace)
+
+    def test_faults_counted_and_charged(self):
+        injector = FaultInjector(
+            FaultConfig(seed=7, transient_rate=0.05, delay_rate=0.05, delay_cycles=90)
+        )
+        faulty = self.run_system(fault_injector=injector)
+        clean = self.run_system()
+        assert faulty.extra["transient_faults"] > 0
+        assert faulty.extra["fault_retries"] > 0
+        assert faulty.extra["fault_delay_cycles"] > 0
+        assert faulty.extra["injected_total_injected"] > 0
+        assert faulty.cycles > clean.cycles
+
+    def test_same_fault_seed_bit_identical(self):
+        def one_run():
+            injector = FaultInjector(
+                FaultConfig(seed=7, transient_rate=0.05, delay_rate=0.05)
+            )
+            result = self.run_system(fault_injector=injector)
+            return result.cycles, result.total_memory_accesses, dict(result.extra)
+
+        assert one_run() == one_run()
+
+    def test_zero_rate_injector_changes_nothing(self):
+        # An attached but silent injector must not perturb timing.
+        silent = self.run_system(fault_injector=FaultInjector(FaultConfig()))
+        clean = self.run_system()
+        assert silent.cycles == clean.cycles
+        assert silent.total_memory_accesses == clean.total_memory_accesses
+        assert silent.merges == clean.merges
+
+    def test_soft_overflows_always_reported(self):
+        clean = self.run_system()
+        assert "stash_soft_overflows" in clean.extra
+        assert "transient_faults" not in clean.extra  # faults off: no noise
+
+    def test_degradation_forces_evictions(self):
+        result = self.run_system(
+            resilience=ResilienceConfig(stash_soft_fraction=0.02, max_forced_evictions=4)
+        )
+        assert result.extra["forced_evictions"] > 0
+
+    def test_dram_rejects_faults(self):
+        with pytest.raises(ValueError, match="DRAM"):
+            SecureSystem.build(
+                "dram",
+                footprint_blocks=4096,
+                fault_injector=FaultInjector(FaultConfig()),
+            )
