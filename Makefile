@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast profile soak examples gallery audit clean
+.PHONY: install test bench bench-fast profile shards soak examples gallery audit clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,6 +22,10 @@ bench-fast:
 profile:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py
 	PYTHONPATH=src $(PYTHON) -m repro run -w locality:80 -s dyn --accesses 20000 --warmup 0 --profile
+
+shards:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_shards.py
+	PYTHONPATH=src $(PYTHON) -m repro run -w locality:80 -s dyn --accesses 20000 --warmup 0 --shards 4
 
 soak:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_soak_faults.py

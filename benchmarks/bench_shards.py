@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Shard-count scaling benchmark for the channel-interleaved ORAM bank.
+
+The paper's platform serializes every ORAM access through one memory
+controller (section 2.6: a single access saturates the DRAM pins), so
+co-running cores queue on one ``busy_until``.  The
+:class:`~repro.controller.sharded.ShardedORAMBank` splits the tree into N
+address-interleaved channels, each with its own controller and timing, so
+misses to different channels overlap.  This benchmark measures *simulated*
+completion time of the multicore pointer-chasing workload (the same
+"hungry" traces as ``bench_extension_multicore``) as the shard count
+grows, and asserts the acceptance floor: >= 1.3x simulated throughput at
+4 shards over the single-controller baseline.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py
+    PYTHONPATH=src python benchmarks/bench_shards.py --cores 4 --references 4000
+
+Writes ``BENCH_shards.json`` (override with ``-o``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.experiments import experiment_config
+from repro.faults import run_fsck_bank
+from repro.sim.multicore import MultiCoreSystem
+from repro.sim.trace import Trace
+from repro.utils.rng import DeterministicRng
+
+#: per-core private region (blocks); cores chase pointers in DISJOINT data
+#: so every miss reaches the ORAM -- the worst case for a shared channel.
+REGION = 2_048
+SHARD_COUNTS = [1, 2, 4]
+SCHEME = "dyn"
+ACCEPTANCE_SPEEDUP_AT_4 = 1.3
+
+
+def hungry_trace(core: int, total_cores: int, references: int, seed: int) -> Trace:
+    """80% sequential pointer chase + 20% random, per-core private region."""
+    rng = DeterministicRng(seed)
+    base = core * REGION
+    trace = Trace(f"hungry{core}", footprint_blocks=REGION * total_cores)
+    pointer = 0
+    for _ in range(references):
+        if rng.random() < 0.8:
+            addr = base + pointer
+            pointer = (pointer + 1) % REGION
+        else:
+            addr = base + rng.randint(0, REGION - 1)
+        trace.append(rng.expovariate_int(120), addr)
+    return trace
+
+
+def run(cores: int, references: int, num_shards: int) -> int:
+    """Simulated cycles to finish all cores' traces on an N-shard bank."""
+    traces = [hungry_trace(i, cores, references, 10 + i) for i in range(cores)]
+    system = MultiCoreSystem.build(
+        SCHEME, traces, config=experiment_config(), num_shards=num_shards
+    )
+    results = system.run(traces)
+    backend = system.backend
+    if num_shards == 1:
+        backend.oram.check_invariants()
+    else:
+        report = run_fsck_bank(backend)
+        assert report.ok, report.summary()
+    return max(r.cycles for r in results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument(
+        "--references", type=int, default=8_000, help="trace references per core"
+    )
+    parser.add_argument("-o", "--output", default="BENCH_shards.json")
+    parser.add_argument(
+        "--no-assert",
+        action="store_true",
+        help="report only; skip the 1.3x acceptance assertion",
+    )
+    args = parser.parse_args(argv)
+    if args.cores < 1 or args.references < 1:
+        parser.error("--cores and --references must be >= 1")
+
+    rows = []
+    cycles_by_shards = {}
+    baseline = None
+    for num_shards in SHARD_COUNTS:
+        cycles = run(args.cores, args.references, num_shards)
+        cycles_by_shards[num_shards] = cycles
+        if baseline is None:
+            baseline = cycles
+        speedup = baseline / cycles
+        rows.append((num_shards, cycles, speedup))
+        print(
+            f"{num_shards} shard(s): {cycles:>12,} cycles "
+            f"({speedup:.2f}x vs 1 shard)"
+        )
+
+    speedup_at_4 = baseline / cycles_by_shards[4]
+    verdict = speedup_at_4 >= ACCEPTANCE_SPEEDUP_AT_4
+    print(
+        f"4-shard speedup {speedup_at_4:.2f}x "
+        f"(acceptance floor {ACCEPTANCE_SPEEDUP_AT_4:.1f}x): "
+        + ("PASS" if verdict else "FAIL")
+    )
+
+    artifact = {
+        "workload": "multicore_hungry",
+        "scheme": SCHEME,
+        "cores": args.cores,
+        "references_per_core": args.references,
+        "region_blocks": REGION,
+        "results": [
+            {"num_shards": n, "cycles": c, "speedup_vs_1_shard": s}
+            for n, c, s in rows
+        ],
+        "speedup_at_4_shards": speedup_at_4,
+        "acceptance_floor": ACCEPTANCE_SPEEDUP_AT_4,
+        "acceptance_pass": verdict,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if not args.no_assert and not verdict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,10 @@ Usage (also via ``python -m repro``):
     repro run -w YCSB -s dyn --accesses 40000
     repro sweep locality -s stat,dyn         # Figure 6a
     repro sweep stash -w ocean_c             # Figure 12
+    repro run -w ocean_c -s dyn --shards 4   # channel-interleaved ORAM bank
     repro trace -w mcf -o mcf.trace          # export a trace file
     repro audit -w ocean_c                   # obliviousness statistics
+    repro parity --scheme all                # one trace, every ORAMScheme
 
 Every command prints the same tables the benchmark harness records; the
 heavy lifting lives in :mod:`repro.analysis`.
@@ -107,12 +109,30 @@ def _fault_build_kwargs(args):
     return build_kwargs
 
 
+def _run_build_kwargs(args):
+    """Compose the ``--fault-*`` and ``--shards`` flags into build kwargs."""
+    faults = _fault_build_kwargs(args)
+    shards = getattr(args, "shards", 1)
+    if faults is None and shards == 1:
+        return None
+
+    def build_kwargs(scheme):
+        kwargs = dict(faults(scheme)) if faults is not None else {}
+        if shards != 1 and not scheme.startswith("dram"):
+            kwargs["num_shards"] = shards
+        return kwargs
+
+    return build_kwargs
+
+
 def cmd_run(args) -> int:
     trace = build_trace(args.workload, args.accesses, seed=args.seed)
     schemes = _parse_schemes(args.schemes)
+    shards = getattr(args, "shards", 1)
     print(
         f"{trace.name}: {len(trace)} references over {trace.footprint_blocks} "
         f"blocks ({trace.write_fraction:.0%} writes)"
+        + (f", {shards}-shard ORAM bank" if shards != 1 else "")
     )
     profilers = {}
     system_hook = None
@@ -126,7 +146,7 @@ def cmd_run(args) -> int:
         config=experiment_config(),
         warmup_fraction=args.warmup,
         system_hook=system_hook,
-        build_kwargs=faults_on,
+        build_kwargs=_run_build_kwargs(args),
     )
     baseline = results.get("oram") or next(iter(results.values()))
     rows = []
@@ -244,6 +264,47 @@ def cmd_audit(args) -> int:
     return 0 if verdict == "OBLIVIOUS" else 1
 
 
+def cmd_parity(args) -> int:
+    """Drive every ORAMScheme implementation with one shared seeded trace."""
+    from repro.controller.scheme import SCHEME_FACTORIES, build_scheme
+    from repro.faults.fsck import run_fsck
+    from repro.utils.rng import DeterministicRng
+
+    if args.scheme == "all":
+        names = list(SCHEME_FACTORIES)
+    elif args.scheme in SCHEME_FACTORIES:
+        names = [args.scheme]
+    else:
+        known = ", ".join(sorted(SCHEME_FACTORIES)) + ", all"
+        raise SystemExit(f"unknown ORAM scheme '{args.scheme}' (known: {known})")
+    rng = DeterministicRng(args.seed)
+    addrs = [rng.randint(0, args.blocks - 1) for _ in range(args.accesses)]
+    rows = []
+    for name in names:
+        scheme = build_scheme(
+            name, levels=args.levels, num_blocks=args.blocks, seed=args.seed
+        )
+        max_on_chip = 0
+        drains = 0
+        for addr in addrs:
+            scheme.begin_access([addr])
+            scheme.finish_access()
+            drains += scheme.drain_stash()
+            if scheme.stash_occupancy > max_on_chip:
+                max_on_chip = scheme.stash_occupancy
+        report = run_fsck(scheme)
+        rows.append(
+            [name, len(addrs), max_on_chip, drains,
+             "clean" if report.ok else f"{len(report.errors)} error(s)"]
+        )
+    print(
+        format_table(
+            ["scheme", "accesses", "max_on_chip", "bg_evictions", "fsck"], rows
+        )
+    )
+    return 0 if all(row[-1] == "clean" for row in rows) else 1
+
+
 # --------------------------------------------------------------------- main
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -295,6 +356,14 @@ def make_parser() -> argparse.ArgumentParser:
         default=1,
         help="fault-schedule seed (same seed -> same schedule)",
     )
+    run_p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="channel-interleave the ORAM over N independent controller "
+        "instances (1 = the paper's single serialized controller)",
+    )
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="parameter sweeps (locality/stash/z)")
@@ -312,6 +381,20 @@ def make_parser() -> argparse.ArgumentParser:
     common(audit_p)
     audit_p.add_argument("-s", "--scheme", default="dyn")
     audit_p.set_defaults(func=cmd_audit)
+
+    parity_p = sub.add_parser(
+        "parity", help="run one seeded trace through every ORAMScheme"
+    )
+    parity_p.add_argument(
+        "--scheme",
+        default="all",
+        help="path | ring | tree | sqrt | all (default: all)",
+    )
+    parity_p.add_argument("--accesses", type=int, default=2_000)
+    parity_p.add_argument("--blocks", type=int, default=96)
+    parity_p.add_argument("--levels", type=int, default=6)
+    parity_p.add_argument("--seed", type=int, default=7)
+    parity_p.set_defaults(func=cmd_parity)
 
     return parser
 

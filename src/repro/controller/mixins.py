@@ -1,0 +1,143 @@
+"""Shared scheme machinery hoisted out of the ORAM zoo.
+
+Before the controller layer existed, Path ORAM, Ring ORAM, and the Shi
+et al. tree ORAM each carried private copies of the same four routines:
+validating that super-block members share a leaf, placing a block as deep
+as possible on its path at population time, writing the stash back onto a
+path greedily (deepest level first), and draining the stash with bounded
+background evictions.  These mixins are the single home of that logic.
+
+The hot-path exception: :meth:`PathORAM._evict_path` keeps its
+hand-inlined specialization of :meth:`GreedyWritebackMixin._greedy_writeback`
+(byte-table depth lookup, reused scratch buckets) because it is the single
+hottest loop of the simulator and is pinned bit-identical by the golden
+determinism test.  The mixin documents the reference algorithm the
+specialization must agree with; the cross-scheme parity suite checks that
+agreement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence
+
+if TYPE_CHECKING:  # imported lazily: repro.oram modules import these mixins
+    from repro.oram.block import Block
+
+
+class SharedLeafMixin:
+    """Validation of the super block invariant (all members on one leaf)."""
+
+    def _validated_shared_leaf(
+        self, addrs: Sequence[int], leaf_of: Callable[[int], int]
+    ) -> int:
+        """Return the common mapped leaf of ``addrs`` or raise ``ValueError``."""
+        if not addrs:
+            raise ValueError("access needs at least one address")
+        leaf = leaf_of(addrs[0])
+        for addr in addrs[1:]:
+            if leaf_of(addr) != leaf:
+                raise ValueError("super block members must share a leaf")
+        return leaf
+
+
+class DeepestPlacementMixin:
+    """Initial placement: a block goes as deep on its path as room allows."""
+
+    def _place_deepest(
+        self,
+        block: Block,
+        levels: int,
+        capacity: int,
+        bucket_for: Callable[[int, int], List[Block]],
+    ) -> bool:
+        """Append ``block`` to the deepest non-full bucket on its path.
+
+        ``bucket_for(level, leaf)`` must return the mutable block list of
+        the bucket at ``level`` on the path to ``leaf``.  Returns False
+        when every bucket on the path is full (the caller sends the block
+        to its stash/overflow area).
+        """
+        for level in range(levels, -1, -1):
+            bucket = bucket_for(level, block.leaf)
+            if len(bucket) < capacity:
+                bucket.append(block)
+                return True
+        return False
+
+
+class GreedyWritebackMixin:
+    """The greedy deepest-first path write-back every tree scheme shares.
+
+    Blocks are scored by the deepest level they may occupy on the written
+    path (the common-prefix length of their mapped leaf and the path
+    leaf), buckets are filled deepest first, and ties preserve stash
+    insertion order -- exactly the consumption order a stable descending
+    sort produces, computed in one O(S) bucketing pass instead.
+    """
+
+    def _greedy_writeback(
+        self,
+        leaf: int,
+        levels: int,
+        capacity: int,
+        stash: Dict[int, Block],
+        write_bucket: Callable[[int, List[Block]], None],
+    ) -> int:
+        """Write ``stash`` back onto the path to ``leaf``; return blocks placed.
+
+        ``write_bucket(level, blocks)`` installs the chosen blocks as the
+        new content of the bucket at ``level`` on the path (and may charge
+        whatever per-bucket cost the scheme meters).  Placed blocks are
+        removed from ``stash``.
+        """
+        by_depth: List[List[Block]] = [[] for _ in range(levels + 1)]
+        for block in stash.values():
+            differing = block.leaf ^ leaf
+            by_depth[
+                levels if differing == 0 else levels - differing.bit_length()
+            ].append(block)
+        flat: List[Block] = []
+        pos = 0
+        for level in range(levels, -1, -1):
+            flat.extend(by_depth[level])
+            take = min(capacity, len(flat) - pos)
+            write_bucket(level, flat[pos : pos + take])
+            pos += take
+        for block in flat[:pos]:
+            del stash[block.addr]
+        return pos
+
+
+class BoundedDrainMixin:
+    """Background-eviction drain loop with a liveness bound.
+
+    The controller drains the stash before serving a real request
+    (section 2.4); a pathologically overloaded tree can reach a state
+    where random-path evictions make little progress, so rather than
+    deadlocking the drain gives up for this request after
+    ``MAX_EVICTIONS_PER_DRAIN`` attempts -- every attempt is still a
+    charged dummy access, so the *cost* lands where the paper puts it.
+
+    Implementors provide :meth:`_stash_over_limit` (when must the drain
+    keep going) and ``dummy_access`` (one background eviction); they may
+    override :meth:`_note_drain_overflow` to count give-ups.
+    """
+
+    MAX_EVICTIONS_PER_DRAIN = 64
+
+    def _stash_over_limit(self) -> bool:
+        raise NotImplementedError
+
+    def _note_drain_overflow(self) -> None:
+        """Hook: the drain hit its bound with the stash still over limit."""
+
+    def drain_stash(self) -> int:
+        """Issue background evictions until within limit; return the count."""
+        evictions = 0
+        while self._stash_over_limit():
+            if evictions >= self.MAX_EVICTIONS_PER_DRAIN:
+                self._note_drain_overflow()
+                break
+            self.dummy_access()
+            evictions += 1
+        return evictions

@@ -1,0 +1,198 @@
+"""The explicit access-phase pipeline behind ``ORAMBackend``.
+
+One LLC-side request used to run as a single inlined blob in
+``ORAMBackend._perform_access``.  The pipeline names the four protocol
+phases of the paper's access (posmap lookup -> path read -> remap ->
+write-back) as first-class objects, threads one :class:`AccessContext`
+through them, and meters each phase's cycles and faults separately --
+the breakdown the profiler and the sharded bank both need.
+
+Bit-identity contract: for the 1-shard Path ORAM configuration the
+pipeline performs *exactly* the operations of the pre-refactor inlined
+body, in the same order, with the same RNG draws -- the golden
+determinism test pins this.  New accounting (per-phase cycles, fault
+attribution) only ever lands in pipeline-owned counters and
+``SimResult.extra``, never in the pinned result fields.
+
+Phase responsibilities (section numbers refer to the paper):
+
+* :class:`PosMapPhase` -- fault-model hook, stash drain + degradation
+  relief (section 2.4: background evictions run before real requests),
+  then the recursive position-map walk (section 2.3);
+* :class:`PathReadPhase` -- super-block membership resolution and the
+  path read + remap half of the scheme access;
+* :class:`RemapPhase` -- the dynamic scheme's merge/break decision over
+  the fetched members (Algorithms 1 and 2), run while every member is
+  physically on-chip;
+* :class:`WritebackPhase` -- the path write-back committing the remap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class AccessContext:
+    """Mutable per-request state threaded through the pipeline phases."""
+
+    __slots__ = (
+        "addr",
+        "start",
+        "run_scheme",
+        "evictions",
+        "extra",
+        "fault_delay",
+        "members",
+        "blocks",
+        "outcome",
+    )
+
+    def __init__(self, addr: int, start: int, run_scheme: bool):
+        self.addr = addr
+        self.start = start
+        self.run_scheme = run_scheme
+        self.evictions = 0  # background evictions charged to this request
+        self.extra = 0  # extra path accesses from the posmap walk
+        self.fault_delay = 0  # injected-fault latency (cycles)
+        self.members: Tuple[int, ...] = ()
+        self.blocks: Any = None
+        self.outcome: Any = None
+
+
+class PosMapPhase:
+    """Fault hook, stash drain/relief, and the PosMap hierarchy walk."""
+
+    name = "posmap"
+
+    def run(self, backend, ctx: AccessContext) -> None:
+        if backend.injector is not None:
+            ctx.fault_delay = backend._fault_delay()
+        oram = backend.oram
+        stats = backend.stats
+        evictions = oram.drain_stash()
+        if backend._stash_soft_limit is not None:
+            evictions += backend._relieve_stash()
+        ctx.evictions = evictions
+        stats.dummy_accesses += evictions
+        ctx.extra = backend.posmap_hierarchy.lookup(ctx.addr)
+        stats.posmap_accesses += ctx.extra
+
+    def cycles(self, backend, ctx: AccessContext) -> int:
+        # Each posmap hierarchy miss is a full path access on the smaller
+        # trees, modeled at the same path cost (section 2.3).
+        return ctx.extra * backend.timing.path_cycles
+
+
+class PathReadPhase:
+    """Resolve super-block membership and read + remap the path."""
+
+    name = "path_read"
+
+    def run(self, backend, ctx: AccessContext) -> None:
+        ctx.members = backend.scheme.members_for(ctx.addr)
+        ctx.blocks = backend.oram.begin_access(ctx.members)
+
+    def cycles(self, backend, ctx: AccessContext) -> int:
+        return backend.timing.path_cycles
+
+
+class RemapPhase:
+    """Run the super-block scheme over the fetched members (on-chip)."""
+
+    name = "remap"
+
+    def run(self, backend, ctx: AccessContext) -> None:
+        if not ctx.run_scheme:
+            return
+        # Members whose copies are already LLC-resident are not "coming
+        # from ORAM" for the scheme's purposes (Algorithm 2).  The
+        # singleton case (most accesses) skips the comprehension frame.
+        members = ctx.members
+        blocks = ctx.blocks
+        llc_contains = backend._llc_contains
+        if len(members) == 1:
+            member = members[0]
+            fetched = {} if llc_contains(member) else {member: blocks[member]}
+        else:
+            fetched = {
+                member: blocks[member]
+                for member in members
+                if not llc_contains(member)
+            }
+        ctx.outcome = backend.scheme.process_fetch(ctx.addr, members, fetched)
+
+    def cycles(self, backend, ctx: AccessContext) -> int:
+        # Remap decisions happen on-chip within the path-read shadow; the
+        # timing model charges them no memory cycles.
+        return 0
+
+
+class WritebackPhase:
+    """Commit the access: path write-back plus charged background evictions."""
+
+    name = "writeback"
+
+    def run(self, backend, ctx: AccessContext) -> None:
+        backend.oram.finish_access()
+
+    def cycles(self, backend, ctx: AccessContext) -> int:
+        # The demand path's write-back shares its path access with the
+        # read (one full-path R/W); what this phase owns in the latency
+        # formula is the background evictions drained up front -- each a
+        # full dummy path access (section 2.4).
+        return ctx.evictions * backend.timing.path_cycles
+
+
+#: The canonical phase order of one oblivious access.
+DEFAULT_PHASES = (PosMapPhase(), PathReadPhase(), RemapPhase(), WritebackPhase())
+
+
+class AccessPipeline:
+    """Drives the four phases for each request and meters the breakdown.
+
+    The pipeline owns the per-phase counters (``phase_cycles``,
+    ``fault_cycles``); aggregate stats keep flowing into the backend's
+    :class:`~repro.memory.backend.BackendStats` exactly as before, so the
+    pinned golden result is untouched.
+    """
+
+    def __init__(self, backend, phases=DEFAULT_PHASES):
+        self.backend = backend
+        self.phases = tuple(phases)
+        #: phase name -> cycles attributed to that phase, plus injected
+        #: fault latency under its own key (it belongs to no phase).
+        self.phase_cycles: Dict[str, int] = {p.name: 0 for p in self.phases}
+        self.phase_cycles["fault"] = 0
+        self.requests = 0
+
+    def execute(self, addr: int, start: int, run_scheme: bool) -> tuple:
+        """One full oblivious access; returns (completion_cycle, outcome)."""
+        backend = self.backend
+        ctx = AccessContext(addr, start, run_scheme)
+        phase_cycles = self.phase_cycles
+        for phase in self.phases:
+            phase.run(backend, ctx)
+            phase_cycles[phase.name] += phase.cycles(backend, ctx)
+        phase_cycles["fault"] += ctx.fault_delay
+        self.requests += 1
+        # ----------------------------------------------------------- timing
+        stats = backend.stats
+        path_accesses = ctx.evictions + ctx.extra + 1
+        # timing.access_cycles inlined: a constant multiply per access.
+        latency = path_accesses * backend.timing.path_cycles + ctx.fault_delay
+        completion = start + latency
+        backend.busy_until = completion
+        stats.memory_accesses += ctx.extra + 1
+        stats.busy_cycles += latency
+        policy = backend._policy_listener
+        if policy is not None:
+            if ctx.evictions:
+                policy.on_background_eviction(ctx.evictions)
+            elapsed = max(1, completion - backend._last_request_cycle)
+            policy.on_request(busy_cycles=latency, elapsed_cycles=elapsed)
+        backend._last_request_cycle = completion
+        return completion, ctx.outcome
+
+    def breakdown(self) -> Dict[str, int]:
+        """A copy of the per-phase cycle attribution (profiler export)."""
+        return dict(self.phase_cycles)

@@ -1,0 +1,221 @@
+"""Channel-interleaved sharded ORAM banks.
+
+A :class:`ShardedORAMBank` puts ``N`` independent ORAM controller
+instances -- each a complete :class:`~repro.memory.oram_backend.ORAMBackend`
+with its own tree, stash, position-map hierarchy, super-block scheme, and
+access pipeline -- behind the single
+:class:`~repro.memory.backend.MemoryBackend` interface the simulators
+drive.  Think memory channels: block addresses are interleaved
+``shard = addr % N``, ``local = addr // N``, so consecutive blocks land on
+consecutive shards and a pointer-chasing core streams across all banks.
+
+Why this wins: the paper serializes one ORAM ("a single ORAM access
+saturates the available DRAM bandwidth", section 2.6), but with per-shard
+channels each bank saturates only its own pins.  Every shard serializes on
+its *own* ``busy_until``, so two cores missing to different shards overlap
+their path accesses -- the inter-tree parallelism Palermo exploits --
+while two misses to the same shard still queue, preserving the paper's
+intra-channel model.
+
+Security note: the interleaving function is public (as is standard for
+multi-channel memory), each shard's access sequence is independently
+oblivious, and the shard selector depends only on the (already leaked)
+block address stream shape -- so the bank leaks nothing beyond N public
+channel choices.
+
+Determinism: shard construction order, the round-robin order of
+:meth:`ShardedORAMBank.access_batch`, and each shard's forked RNG are all
+fixed, so a run is bit-reproducible for any shard count; with ``N == 1``
+builders bypass the bank entirely and the golden single-controller result
+is trivially unchanged.
+
+This module is intentionally *not* re-exported from
+``repro.controller.__init__``: it imports :mod:`repro.memory`, which
+imports the controller package, and the indirection keeps that cycle open.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.memory.backend import BackendStats, DemandResult, MemoryBackend
+from repro.memory.oram_backend import ORAMBackend
+
+
+class ShardedORAMBank(MemoryBackend):
+    """N address-interleaved ORAM controllers behind one backend interface.
+
+    Args:
+        shards: the per-channel backends, already built and sized; shard
+            ``i`` owns every global address congruent to ``i`` mod ``N``.
+    """
+
+    def __init__(self, shards: Sequence[ORAMBackend]):
+        # MemoryBackend.__init__ is skipped deliberately: ``stats`` and
+        # ``busy_until`` are aggregate *views* over the shards (properties
+        # below), not own state.
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.shards: List[ORAMBackend] = list(shards)
+        self.num_shards = len(self.shards)
+        #: valid global addresses: every (shard, local) pair must exist in
+        #: its shard, so the bank exposes the smallest shard rounded down.
+        self.num_blocks = self.num_shards * min(
+            shard.oram.position_map.num_blocks for shard in self.shards
+        )
+        self._llc_probe_installed = False
+
+    # ----------------------------------------------------------------- wiring
+    def set_llc_probe(self, probe: Callable[[int], bool]) -> None:
+        """Install the (global-address) LLC tag probe on every shard.
+
+        Each shard's scheme reasons in local addresses, so the probe is
+        wrapped with that shard's address translation.
+        """
+        num_shards = self.num_shards
+        for index, shard in enumerate(self.shards):
+            shard.set_llc_probe(
+                lambda local, _i=index: probe(local * num_shards + _i)
+            )
+        self._llc_probe_installed = True
+
+    def _split(self, addr: int) -> Tuple[ORAMBackend, int]:
+        return self.shards[addr % self.num_shards], addr // self.num_shards
+
+    def _globalize(self, shard_index: int, result: DemandResult) -> DemandResult:
+        """Translate a shard's local fill addresses back to global ones."""
+        num_shards = self.num_shards
+        result.filled = [
+            (local * num_shards + shard_index, prefetched)
+            for local, prefetched in result.filled
+        ]
+        return result
+
+    # ----------------------------------------------------------------- access
+    def demand_access(self, addr: int, now: int, is_write: bool) -> DemandResult:
+        shard_index = addr % self.num_shards
+        shard = self.shards[shard_index]
+        result = shard.demand_access(addr // self.num_shards, now, is_write)
+        return self._globalize(shard_index, result)
+
+    def prefetch_access(self, addr: int, now: int) -> Optional[DemandResult]:
+        shard_index = addr % self.num_shards
+        shard = self.shards[shard_index]
+        result = shard.prefetch_access(addr // self.num_shards, now)
+        if result is None:
+            return None
+        return self._globalize(shard_index, result)
+
+    def access_batch(
+        self, requests: Sequence[Tuple[int, int, bool]]
+    ) -> List[DemandResult]:
+        """Serve a batch of ``(addr, now, is_write)`` concurrently in-flight.
+
+        Requests are partitioned by shard (preserving arrival order within
+        a shard) and issued deterministically round-robin across shards --
+        one request per shard per round, shard index ascending -- so a
+        multicore trace fans out and each shard's queue drains
+        independently.  Results come back in the input order.
+        """
+        per_shard: List[List[int]] = [[] for _ in range(self.num_shards)]
+        for position, (addr, _now, _w) in enumerate(requests):
+            per_shard[addr % self.num_shards].append(position)
+        results: List[Optional[DemandResult]] = [None] * len(requests)
+        round_index = 0
+        remaining = len(requests)
+        while remaining:
+            for shard_index in range(self.num_shards):
+                queue = per_shard[shard_index]
+                if round_index >= len(queue):
+                    continue
+                position = queue[round_index]
+                addr, now, is_write = requests[position]
+                results[position] = self.demand_access(addr, now, is_write)
+                remaining -= 1
+            round_index += 1
+        return results  # type: ignore[return-value]
+
+    # ----------------------------------------------------------- cache events
+    def evict_line(self, addr: int, dirty: bool, now: int) -> None:
+        shard, local = self._split(addr)
+        shard.evict_line(local, dirty, now)
+
+    def on_llc_hit(self, addr: int) -> None:
+        shard, local = self._split(addr)
+        shard.on_llc_hit(local)
+
+    def finalize(self, now: int) -> None:
+        for shard in self.shards:
+            shard.finalize(now)
+
+    # ------------------------------------------------------------- aggregates
+    @property
+    def busy_until(self) -> int:  # type: ignore[override]
+        """The bank is busy until its last-finishing channel is."""
+        return max(shard.busy_until for shard in self.shards)
+
+    @busy_until.setter
+    def busy_until(self, value: int) -> None:
+        raise AttributeError("per-shard busy_until is owned by the shards")
+
+    @property
+    def stats(self) -> BackendStats:  # type: ignore[override]
+        """Aggregate counters summed over every shard (a fresh snapshot)."""
+        total = BackendStats()
+        for shard in self.shards:
+            s = shard.stats
+            total.demand_requests += s.demand_requests
+            total.prefetch_requests += s.prefetch_requests
+            total.write_accesses += s.write_accesses
+            total.memory_accesses += s.memory_accesses
+            total.dummy_accesses += s.dummy_accesses
+            total.posmap_accesses += s.posmap_accesses
+            total.busy_cycles += s.busy_cycles
+            total.transient_faults += s.transient_faults
+            total.fault_retries += s.fault_retries
+            total.fault_delay_cycles += s.fault_delay_cycles
+            total.forced_evictions += s.forced_evictions
+        return total
+
+    @stats.setter
+    def stats(self, value: BackendStats) -> None:
+        raise AttributeError("bank stats are an aggregate view over the shards")
+
+    def stash_max_occupancy(self) -> int:
+        """Worst stash watermark across the channels."""
+        return max(shard.oram.stash.max_occupancy for shard in self.shards)
+
+    def stash_soft_overflows(self) -> int:
+        return sum(shard.oram.stash_soft_overflows for shard in self.shards)
+
+    def aggregate_posmap_hit_rate(self) -> float:
+        """Lookup-weighted PosMap cache hit rate over all shards.
+
+        Guarded for the no-lookup case (e.g. a bank that never saw a
+        miss): returns 0.0 instead of dividing by zero, matching
+        :meth:`repro.oram.recursion.PosMapHierarchy.hit_rate`.
+        """
+        lookups = sum(shard.posmap_hierarchy.lookups for shard in self.shards)
+        if lookups == 0:
+            return 0.0
+        hits = sum(shard.posmap_hierarchy.cache_hits for shard in self.shards)
+        return hits / lookups
+
+    def phase_breakdown(self) -> dict:
+        """Per-phase cycle attribution summed over every shard's pipeline."""
+        total: dict = {}
+        for shard in self.shards:
+            for name, cycles in shard.pipeline.breakdown().items():
+                total[name] = total.get(name, 0) + cycles
+        return total
+
+    def check_invariants(self) -> None:
+        """Audit every channel's ORAM (tests / fsck)."""
+        for shard in self.shards:
+            shard.oram.check_invariants()
+
+    @property
+    def background_eviction_rate(self) -> float:
+        stats = self.stats
+        total = stats.demand_requests + stats.dummy_accesses
+        return stats.dummy_accesses / total if total else 0.0

@@ -14,11 +14,18 @@ Entry points:
   (:mod:`repro.faults.injector`);
 * :class:`ResilientKVStore` / :class:`ResilienceConfig` -- the
   self-healing store (:mod:`repro.faults.resilient`);
-* :func:`run_fsck` / :func:`assert_consistent` -- the invariant auditor
-  (:mod:`repro.faults.fsck`).
+* :func:`run_fsck` / :func:`run_fsck_bank` / :func:`assert_consistent` --
+  the invariant auditor (:mod:`repro.faults.fsck`), covering every
+  ``ORAMScheme`` implementation and sharded banks.
 """
 
-from repro.faults.fsck import FsckError, FsckReport, assert_consistent, run_fsck
+from repro.faults.fsck import (
+    FsckError,
+    FsckReport,
+    assert_consistent,
+    run_fsck,
+    run_fsck_bank,
+)
 from repro.faults.injector import (
     FaultConfig,
     FaultInjector,
@@ -41,6 +48,7 @@ __all__ = [
     "FsckReport",
     "assert_consistent",
     "run_fsck",
+    "run_fsck_bank",
     "RecoveryError",
     "RecoveryStats",
     "ResilienceConfig",

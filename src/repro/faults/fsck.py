@@ -11,6 +11,15 @@ last hiding place.
 The resilient access path runs this after every checkpoint restore and
 before every checkpoint capture; tests use it to prove recovery really
 reconverged rather than merely stopped raising.
+
+:func:`run_fsck` dispatches on the store's shape: Path ORAM instances
+(anything with ``tree``/``position_map``/``stash``) get the deep
+bucket-by-bucket audit below; every other
+:class:`~repro.controller.scheme.ORAMScheme` implementation (Ring ORAM,
+the Shi tree ORAM, the square-root ORAM) is audited through its own
+``check_invariants`` with violations folded into the same
+:class:`FsckReport`.  :func:`run_fsck_bank` audits every channel of a
+:class:`~repro.controller.sharded.ShardedORAMBank`.
 """
 
 from __future__ import annotations
@@ -53,6 +62,23 @@ class FsckReport:
 
 
 def run_fsck(oram, max_errors: int = 16) -> FsckReport:
+    """Audit an oblivious store and report every violation found.
+
+    Path ORAM instances get the deep audit of
+    :func:`_fsck_path_oram`; any other scheme implementing the
+    ``ORAMScheme`` protocol is audited via :func:`_fsck_scheme` (its own
+    ``check_invariants`` plus an on-chip census).
+    """
+    if (
+        hasattr(oram, "tree")
+        and hasattr(oram, "position_map")
+        and hasattr(oram, "stash")
+    ):
+        return _fsck_path_oram(oram, max_errors)
+    return _fsck_scheme(oram, max_errors)
+
+
+def _fsck_path_oram(oram, max_errors: int = 16) -> FsckReport:
     """Audit posmap<->tree<->stash consistency and root-hash agreement.
 
     Checks, in order:
@@ -144,6 +170,51 @@ def run_fsck(oram, max_errors: int = 16) -> FsckReport:
                 "trusted on-chip root"
             )
     return report
+
+
+def _fsck_scheme(oram, max_errors: int = 16) -> FsckReport:
+    """Generic audit for any ``ORAMScheme`` without Path ORAM internals.
+
+    Runs the scheme's own :meth:`check_invariants` (structural audit:
+    path invariant, bucket bounds, block conservation, permutation
+    bijectivity -- whatever the construction guarantees) and folds the
+    first violation into the report, then records the on-chip census.
+    """
+    expected = getattr(oram, "num_blocks", 0)
+    report = FsckReport(expected_blocks=expected)
+    try:
+        oram.check_invariants()
+    except AssertionError as exc:
+        report.errors.append(
+            f"{type(oram).__name__}.check_invariants: {exc or 'invariant violated'}"
+        )
+    on_chip = getattr(oram, "stash_occupancy", 0)
+    report.blocks_in_stash = on_chip
+    if report.ok:
+        report.blocks_in_tree = expected - on_chip
+    return report
+
+
+def run_fsck_bank(bank, max_errors: int = 16) -> FsckReport:
+    """Audit every channel of a sharded ORAM bank into one merged report.
+
+    Each shard's functional ORAM gets a full :func:`run_fsck`; errors are
+    prefixed with the shard index, censuses are summed, and the merged
+    ``root_hash_checked`` is true only when every audited shard checked
+    one.
+    """
+    shards = bank.shards
+    merged = FsckReport(root_hash_checked=bool(shards))
+    for index, shard in enumerate(shards):
+        report = run_fsck(shard.oram, max_errors=max_errors)
+        merged.blocks_in_tree += report.blocks_in_tree
+        merged.blocks_in_stash += report.blocks_in_stash
+        merged.expected_blocks += report.expected_blocks
+        merged.root_hash_checked = merged.root_hash_checked and report.root_hash_checked
+        for error in report.errors:
+            if len(merged.errors) < max_errors:
+                merged.errors.append(f"shard {index}: {error}")
+    return merged
 
 
 def assert_consistent(oram, max_errors: int = 16) -> FsckReport:

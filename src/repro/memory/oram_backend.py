@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.config import DRAMConfig, ORAMConfig
+from repro.controller.pipeline import AccessPipeline
 from repro.faults.injector import TransientReadError
 from repro.memory.backend import DemandResult, MemoryBackend
 from repro.memory.timing import ORAMTimingModel
@@ -83,8 +84,11 @@ class ORAMBackend(MemoryBackend):
         self.oram.populate()
         self._last_request_cycle = 0
         # The threshold listener never changes after construction; caching
-        # it avoids a per-access virtual call in _perform_access.
+        # it avoids a per-access virtual call in the pipeline.
         self._policy_listener = scheme.threshold_listener()
+        #: the explicit phase pipeline executing every access (PosMap ->
+        #: PathRead -> Remap -> Writeback) with per-phase accounting
+        self.pipeline = AccessPipeline(self)
         #: optional callback(occupancy) sampled after every demand access
         #: (the stash-occupancy study hooks in here)
         self.stash_sampler: Optional[Callable[[int], None]] = None
@@ -179,57 +183,14 @@ class ORAMBackend(MemoryBackend):
     def _perform_access(self, addr: int, start: int, run_scheme: bool) -> tuple:
         """Shared functional + timing core of read/write/prefetch accesses.
 
-        The scheme hook (Algorithms 1 and 2) runs between the path read and
-        the path write-back, while every member of the super block is
-        physically in the stash -- merge/break re-mappings then commit with
-        the write-back, exactly as the hardware would do it.
+        Delegates to the explicit phase pipeline (PosMap -> PathRead ->
+        Remap -> Writeback); the scheme hook (Algorithms 1 and 2) runs in
+        the remap phase, between the path read and the path write-back,
+        while every member of the super block is physically in the stash.
 
         Returns (completion_cycle, FetchOutcome-or-None).
         """
-        oram = self.oram
-        stats = self.stats
-        scheme = self.scheme
-        fault_delay = self._fault_delay() if self.injector is not None else 0
-        evictions = oram.drain_stash()
-        if self._stash_soft_limit is not None:
-            evictions += self._relieve_stash()
-        stats.dummy_accesses += evictions
-        extra = self.posmap_hierarchy.lookup(addr)
-        stats.posmap_accesses += extra
-        members = scheme.members_for(addr)
-        blocks = oram.begin_access(members)
-        outcome = None
-        if run_scheme:
-            # Members whose copies are already LLC-resident are not "coming
-            # from ORAM" for the scheme's purposes (Algorithm 2).  The
-            # singleton case (most accesses) skips the comprehension frame.
-            llc_contains = self._llc_contains
-            if len(members) == 1:
-                member = members[0]
-                fetched = {} if llc_contains(member) else {member: blocks[member]}
-            else:
-                fetched = {
-                    member: blocks[member]
-                    for member in members
-                    if not llc_contains(member)
-                }
-            outcome = scheme.process_fetch(addr, members, fetched)
-        oram.finish_access()
-        path_accesses = evictions + extra + 1
-        # timing.access_cycles inlined: a constant multiply per access.
-        latency = path_accesses * self.timing.path_cycles + fault_delay
-        completion = start + latency
-        self.busy_until = completion
-        stats.memory_accesses += extra + 1
-        stats.busy_cycles += latency
-        policy = self._policy_listener
-        if policy is not None:
-            if evictions:
-                policy.on_background_eviction(evictions)
-            elapsed = max(1, completion - self._last_request_cycle)
-            policy.on_request(busy_cycles=latency, elapsed_cycles=elapsed)
-        self._last_request_cycle = completion
-        return completion, outcome
+        return self.pipeline.execute(addr, start, run_scheme)
 
     # ----------------------------------------------------------------- access
     def demand_access(self, addr: int, now: int, is_write: bool) -> DemandResult:

@@ -30,6 +30,13 @@ from operator import attrgetter
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import ORAMConfig
+from repro.controller.mixins import (
+    BoundedDrainMixin,
+    DeepestPlacementMixin,
+    GreedyWritebackMixin,
+    SharedLeafMixin,
+)
+from repro.controller.scheme import ORAMScheme
 from repro.oram.block import Block
 from repro.oram.position_map import PositionMap
 from repro.oram.stash import Stash
@@ -39,8 +46,16 @@ from repro.utils.rng import DeterministicRng
 _LEAF_OF = attrgetter("leaf")
 
 
-class PathORAM:
+class PathORAM(
+    SharedLeafMixin, DeepestPlacementMixin, GreedyWritebackMixin, BoundedDrainMixin
+):
     """Functional Path ORAM over a binary tree with a stash and position map.
+
+    Implements the :class:`~repro.controller.scheme.ORAMScheme` protocol;
+    the shared stash/eviction/placement machinery lives in the
+    :mod:`repro.controller.mixins` (``_evict_path`` below keeps a
+    hand-inlined specialization of the greedy write-back, pinned by the
+    golden determinism test).
 
     Args:
         config: geometry and capacity parameters.
@@ -49,14 +64,6 @@ class PathORAM:
             recording the adversary-visible access sequence.
         populate: install ``config.num_blocks`` blocks at construction.
     """
-
-    #: Bound on consecutive background evictions per drain.  A pathologically
-    #: overloaded tree (e.g. the static scheme at high utilization) can reach
-    #: a state where random-path evictions make little progress; rather than
-    #: deadlocking, the drain gives up for this request -- the stash keeps
-    #: the surplus and the overflow is recorded.  The *cost* still lands
-    #: where the paper puts it: every attempt is a charged dummy access.
-    MAX_EVICTIONS_PER_DRAIN = 64
 
     def __init__(
         self,
@@ -129,18 +136,15 @@ class PathORAM:
         self._populated = True
         levels = self.config.levels
         z = self.config.bucket_size
+        tree = self.tree
+
+        def bucket_for(level: int, leaf: int) -> List[Block]:
+            return tree.bucket(tree.bucket_index(level, leaf))
+
         for addr in range(self.position_map.num_blocks):
             leaf = self.position_map.leaf(addr)
             block = Block(addr, leaf)
-            placed = False
-            for level in range(levels, -1, -1):
-                index = self.tree.bucket_index(level, leaf)
-                bucket = self.tree.bucket(index)
-                if len(bucket) < z:
-                    bucket.append(block)
-                    placed = True
-                    break
-            if not placed:
+            if not self._place_deepest(block, levels, z, bucket_for):
                 self.stash.add(block)
 
     # ----------------------------------------------------------------- access
@@ -165,16 +169,12 @@ class PathORAM:
             Mapping of address -> block for every member.  The blocks stay
             owned by the ORAM.
         """
-        if not addrs:
-            raise ValueError("access needs at least one address")
         posmap = self.position_map
-        leaf = posmap.leaf(addrs[0])
-        if len(addrs) > 1:
-            for addr in addrs[1:]:
-                if posmap.leaf(addr) != leaf:
-                    raise ValueError(
-                        "super block invariant violated: members mapped to different leaves"
-                    )
+        if len(addrs) == 1:
+            # Singleton fast path (most accesses): skip the mixin frame.
+            leaf = posmap.leaf(addrs[0])
+        else:
+            leaf = self._validated_shared_leaf(addrs, posmap.leaf)
         if self._pending_writeback is not None:
             raise RuntimeError("previous access not finished")
         self.real_accesses += 1
@@ -270,25 +270,15 @@ class PathORAM:
         if self._hooks_active:
             self._after_path_write(leaf)
 
-    def drain_stash(self) -> int:
-        """Issue background evictions until the stash is within capacity.
-
-        Returns the number of dummy accesses issued.  The controller calls
-        this before serving a real request when the stash is full
-        (section 2.4).
-        """
-        evictions = 0
+    # drain_stash comes from BoundedDrainMixin; these two hooks bind it to
+    # the stash capacity and the soft-overflow counter.
+    def _stash_over_limit(self) -> bool:
         # stash.over_capacity() inlined: this check runs before every real
         # request and is almost always False.
-        blocks = self.stash._blocks
-        capacity = self.stash.capacity
-        while len(blocks) > capacity:
-            if evictions >= self.MAX_EVICTIONS_PER_DRAIN:
-                self.stash_soft_overflows += 1
-                break
-            self.dummy_access()
-            evictions += 1
-        return evictions
+        return len(self.stash._blocks) > self.stash.capacity
+
+    def _note_drain_overflow(self) -> None:
+        self.stash_soft_overflows += 1
 
     # ----------------------------------------------------------------- hooks
     def _before_path_read(self, leaf: int) -> None:
@@ -318,7 +308,11 @@ class PathORAM:
         pass (replacing an O(S log S) sort) and consumed deepest-bucket
         first, preserving stash insertion order within each depth -- the
         exact consumption order the previous stable sort produced, so the
-        resulting tree state is bit-identical.
+        resulting tree state is bit-identical.  This is a hand-inlined
+        specialization of
+        :meth:`~repro.controller.mixins.GreedyWritebackMixin._greedy_writeback`
+        (byte-table depth lookup, reused scratch buckets, direct bucket
+        stores); the parity suite checks the two agree.
         """
         levels = self.config.levels
         z = self.config.bucket_size
@@ -420,6 +414,16 @@ class PathORAM:
         )
 
     # --------------------------------------------------------------- queries
+    @property
+    def num_blocks(self) -> int:
+        """Logical address-space size (ORAMScheme protocol)."""
+        return self.position_map.num_blocks
+
+    @property
+    def stash_occupancy(self) -> int:
+        """Blocks currently held on-chip (ORAMScheme protocol)."""
+        return len(self.stash)
+
     def locate(self, addr: int) -> str:
         """Return 'tree' or 'stash' for a block (tests/debugging).
 
@@ -430,3 +434,6 @@ class PathORAM:
         if self.tree.find(addr):
             return "tree"
         raise KeyError(f"block {addr} not found anywhere")
+
+
+ORAMScheme.register(PathORAM)

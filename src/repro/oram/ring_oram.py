@@ -32,8 +32,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.controller.mixins import (
+    BoundedDrainMixin,
+    DeepestPlacementMixin,
+    GreedyWritebackMixin,
+    SharedLeafMixin,
+)
+from repro.controller.scheme import ORAMScheme
 from repro.oram.block import Block
-from repro.utils.bitops import common_prefix_length
 from repro.utils.rng import DeterministicRng
 
 
@@ -56,8 +62,17 @@ class _RingBucket:
         self.accesses = 0
 
 
-class RingORAM:
+class RingORAM(
+    SharedLeafMixin, DeepestPlacementMixin, GreedyWritebackMixin, BoundedDrainMixin
+):
     """Functional Ring ORAM with super block support.
+
+    Implements the :class:`~repro.controller.scheme.ORAMScheme` protocol:
+    the access splits into :meth:`begin_access` (ReadPath + remap, members
+    parked in the stash) and :meth:`finish_access` (the periodic EvictPath
+    / EarlyReshuffle maintenance), and background pressure is relieved by
+    :meth:`dummy_access` (one forced EvictPath) under the shared bounded
+    drain.
 
     Args:
         levels: tree depth ``L``.
@@ -66,6 +81,7 @@ class RingORAM:
             ORAM; 8 is a reasonable small-scale setting).
         s: dummy slots per bucket (the per-bucket access budget).
         a: accesses between EvictPath operations.
+        stash_capacity: soft stash bound used by ``drain_stash``.
         rng: deterministic randomness.
         observer: optional adversary observer (accessed leaves).
     """
@@ -77,6 +93,7 @@ class RingORAM:
         z: int = 8,
         s: int = 12,
         a: int = 8,
+        stash_capacity: Optional[int] = None,
         rng: Optional[DeterministicRng] = None,
         observer=None,
     ):
@@ -96,12 +113,18 @@ class RingORAM:
         self._buckets = [_RingBucket() for _ in range(self.num_buckets)]
         self._leaves = [self.rng.random_leaf(self.num_leaves) for _ in range(num_blocks)]
         self.stash: Dict[int, Block] = {}
+        self.stash_capacity = (
+            stash_capacity if stash_capacity is not None else max(32, 4 * levels)
+        )
         # Statistics
         self.accesses = 0
         self.evict_paths = 0
         self.early_reshuffles = 0
         self.blocks_transferred = 0
+        self.dummy_accesses = 0
+        self.stash_soft_overflows = 0
         self._evict_counter = 0
+        self._pending_path: Optional[List[int]] = None
         self._populate()
 
     # ------------------------------------------------------------- plumbing
@@ -112,36 +135,32 @@ class RingORAM:
         return [self._bucket_index(level, leaf) for level in range(self.levels + 1)]
 
     def _populate(self) -> None:
+        def bucket_for(level: int, leaf: int) -> List[Block]:
+            return self._buckets[self._bucket_index(level, leaf)].blocks
+
         for addr in range(self.num_blocks):
             block = Block(addr, self._leaves[addr])
-            placed = False
-            for level in range(self.levels, -1, -1):
-                bucket = self._buckets[self._bucket_index(level, block.leaf)]
-                if len(bucket.blocks) < self.z:
-                    bucket.blocks.append(block)
-                    placed = True
-                    break
-            if not placed:
+            if not self._place_deepest(block, self.levels, self.z, bucket_for):
                 self.stash[addr] = block
 
     def leaf_of(self, addr: int) -> int:
         return self._leaves[addr]
 
     # ----------------------------------------------------------------- access
-    def access(self, addrs: Sequence[int], new_leaf: Optional[int] = None) -> Dict[int, Block]:
-        """ReadPath for a (super) block, then the periodic maintenance.
+    def begin_access(
+        self, addrs: Sequence[int], new_leaf: Optional[int] = None
+    ) -> Dict[int, Block]:
+        """ReadPath for a (super) block: fetch, remap, park in the stash.
 
         All of ``addrs`` must share a leaf.  One slot is touched per bucket
         on the path (an extra touch per additional member co-located in the
         same bucket); members are remapped together to a fresh leaf and
-        parked in the stash until an EvictPath writes them back.
+        stay in the stash until an EvictPath writes them back.  The
+        periodic maintenance runs at :meth:`finish_access`.
         """
-        if not addrs:
-            raise ValueError("access needs at least one address")
-        leaf = self._leaves[addrs[0]]
-        for addr in addrs[1:]:
-            if self._leaves[addr] != leaf:
-                raise ValueError("super block members must share a leaf")
+        leaf = self._validated_shared_leaf(addrs, self._leaves.__getitem__)
+        if self._pending_path is not None:
+            raise RuntimeError("previous access not finished")
         self.accesses += 1
         if self.observer is not None:
             self.observer.on_path_access(leaf, "real")
@@ -170,13 +189,36 @@ class RingORAM:
             block.leaf = assigned
             self._leaves[addr] = assigned
             self.stash[addr] = block
-        # Periodic maintenance.
+        self._pending_path = self._path_indices(leaf)
+        return found
+
+    def finish_access(self) -> None:
+        """Periodic maintenance: counted EvictPath + EarlyReshuffle."""
+        if self._pending_path is None:
+            raise RuntimeError("no access in progress")
+        pending = self._pending_path
+        self._pending_path = None
         self._evict_counter += 1
         if self._evict_counter >= self.a:
             self._evict_counter = 0
             self._evict_path()
-        self._early_reshuffle(self._path_indices(leaf))
+        self._early_reshuffle(pending)
+
+    def access(self, addrs: Sequence[int], new_leaf: Optional[int] = None) -> Dict[int, Block]:
+        """One complete access: ReadPath plus the periodic maintenance."""
+        found = self.begin_access(addrs, new_leaf)
+        self.finish_access()
         return found
+
+    def remap_group(self, addrs: Sequence[int], leaf: Optional[int] = None) -> int:
+        """Re-point a group whose members are all stash-resident (merge/break)."""
+        assigned = leaf if leaf is not None else self.rng.random_leaf(self.num_leaves)
+        for addr in addrs:
+            self._leaves[addr] = assigned
+            block = self.stash.get(addr)
+            if block is not None:
+                block.leaf = assigned
+        return assigned
 
     # --------------------------------------------------------------- eviction
     def _evict_path(self) -> None:
@@ -192,23 +234,32 @@ class RingORAM:
                 self.stash[block.addr] = block
             bucket.blocks = []
             bucket.accesses = 0
-        # Greedy write-back, deepest first (as in Path ORAM).
-        scored = sorted(
-            ((common_prefix_length(b.leaf, leaf, self.levels), b) for b in self.stash.values()),
-            key=lambda pair: pair[0],
-            reverse=True,
-        )
-        position = 0
-        for level in range(self.levels, -1, -1):
-            bucket = self._buckets[self._bucket_index(level, leaf)]
-            placed: List[Block] = []
-            while position < len(scored) and len(placed) < self.z and scored[position][0] >= level:
-                placed.append(scored[position][1])
-                position += 1
-            bucket.blocks = placed
+
+        # Greedy write-back, deepest first (the shared mixin algorithm).
+        def write_bucket(level: int, blocks: List[Block]) -> None:
+            self._buckets[self._bucket_index(level, leaf)].blocks = blocks
             self.blocks_transferred += self.z + self.s  # full bucket write
-            for block in placed:
-                self.stash.pop(block.addr)
+
+        self._greedy_writeback(leaf, self.levels, self.z, self.stash, write_bucket)
+
+    def dummy_access(self, kind: str = "dummy") -> None:
+        """One forced EvictPath: background stash relief (no block remapped).
+
+        The eviction leaf is the public reverse-lexicographic schedule, so
+        the adversary learns nothing beyond the (public) eviction count.
+        """
+        self.dummy_accesses += 1
+        if self.observer is not None:
+            leaf = reverse_bits(self.evict_paths % self.num_leaves, self.levels)
+            self.observer.on_path_access(leaf, kind)
+        self._evict_path()
+
+    # drain_stash comes from BoundedDrainMixin.
+    def _stash_over_limit(self) -> bool:
+        return len(self.stash) > self.stash_capacity
+
+    def _note_drain_overflow(self) -> None:
+        self.stash_soft_overflows += 1
 
     def _early_reshuffle(self, indices: Sequence[int]) -> None:
         """Rewrite buckets whose dummy budget is exhausted."""
@@ -237,9 +288,17 @@ class RingORAM:
         assert len(seen) == self.num_blocks, "blocks lost"
 
     # -------------------------------------------------------------- analysis
+    @property
+    def stash_occupancy(self) -> int:
+        """Blocks currently held on-chip (ORAMScheme protocol)."""
+        return len(self.stash)
+
     def blocks_per_access(self) -> float:
         """Amortized blocks moved per logical access (Ring's headline metric)."""
         return self.blocks_transferred / self.accesses if self.accesses else 0.0
+
+
+ORAMScheme.register(RingORAM)
 
 
 def merge_pairs(oram: RingORAM, sbsize: int = 2) -> None:

@@ -21,13 +21,22 @@ benchmark and tests quantify that gap against the tree ORAMs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.controller.scheme import ORAMScheme
 from repro.utils.rng import DeterministicRng
 
 
 class SquareRootORAM:
     """Functional square-root ORAM over an integer address space.
+
+    Implements the :class:`~repro.controller.scheme.ORAMScheme` protocol:
+    :meth:`begin_access` serves each requested address with one full
+    oblivious access (the scheme has no deferred write-back, so
+    :meth:`finish_access` just closes the bracket), :meth:`dummy_access`
+    burns one never-read dummy slot, and the shelter plays the stash's
+    role -- its occupancy is bounded by the public reshuffle period, so
+    :meth:`drain_stash` never needs to evict.
 
     Args:
         num_blocks: logical blocks (``n``); the server array holds
@@ -56,6 +65,8 @@ class SquareRootORAM:
         self.accesses = 0
         self.server_probes = 0
         self.reshuffles = 0
+        self.dummy_accesses = 0
+        self._pending_access = False
         self._reshuffle()
 
     # ------------------------------------------------------------- internals
@@ -118,7 +129,87 @@ class SquareRootORAM:
             self._reshuffle()
         return value
 
+    # ------------------------------------------------- ORAMScheme protocol
+    def begin_access(
+        self, addrs: Sequence[int], new_leaf: Optional[int] = None
+    ) -> Dict[int, Any]:
+        """Serve each address with one full oblivious access.
+
+        The square-root construction has no leaf positions (``new_leaf``
+        is ignored) and no super blocks, so a multi-member group simply
+        costs one access per member.
+        """
+        if not addrs:
+            raise ValueError("access needs at least one address")
+        if self._pending_access:
+            raise RuntimeError("previous access not finished")
+        fetched = {addr: self.access(addr) for addr in addrs}
+        self._pending_access = True
+        return fetched
+
+    def finish_access(self) -> None:
+        """No deferred write-back: the shelter already holds the blocks."""
+        if not self._pending_access:
+            raise RuntimeError("no access in progress")
+        self._pending_access = False
+
+    def dummy_access(self, kind: str = "dummy") -> None:
+        """Burn one never-read dummy slot (a full-shape fake access)."""
+        self.dummy_accesses += 1
+        self.server_probes += self.shelter_size  # the shelter scan
+        slot = self._permutation[self._dummy_cursor]
+        self._dummy_cursor += 1
+        self.server_probes += 1
+        if self.observer is not None:
+            self.observer.on_path_access(slot, kind)
+        self._epoch_accesses += 1
+        if self._epoch_accesses >= self.shelter_size:
+            self._reshuffle()
+
+    def drain_stash(self) -> int:
+        """The shelter is emptied by the public-period reshuffle, never by
+        background evictions; occupancy is bounded by construction."""
+        return 0
+
+    @property
+    def stash_occupancy(self) -> int:
+        """Sheltered blocks (the scheme's on-chip state)."""
+        return len(self._shelter)
+
+    # ------------------------------------------------------------ invariants
+    def check_invariants(self) -> None:
+        """Audit permutation, cursor, shelter, and value-array consistency.
+
+        Raises:
+            AssertionError: if any invariant is violated.
+        """
+        n = self.server_slots
+        assert sorted(self._permutation) == list(range(n)), (
+            "permutation is not a bijection over the server slots"
+        )
+        for addr, slot in self._slot_of.items():
+            assert 0 <= addr < self.num_blocks, f"phantom address {addr}"
+            assert slot == self._permutation[addr], (
+                f"address {addr}: cached slot {slot} != permutation"
+            )
+        assert len(self._slot_of) == self.num_blocks, "addresses lost"
+        assert self.num_blocks <= self._dummy_cursor <= n, (
+            f"dummy cursor {self._dummy_cursor} outside its dummy range"
+        )
+        assert self._epoch_accesses < self.shelter_size, (
+            "epoch outlived the reshuffle period"
+        )
+        assert len(self._shelter) <= self.shelter_size, "shelter over capacity"
+        for addr, value in self._shelter.items():
+            assert 0 <= addr < self.num_blocks, f"sheltered phantom {addr}"
+            assert self._values[addr] == value, (
+                f"sheltered copy of {addr} desynced from the value array"
+            )
+
     # -------------------------------------------------------------- analysis
     def probes_per_access(self) -> float:
         """Amortized server touches per access so far."""
         return self.server_probes / self.accesses if self.accesses else 0.0
+
+
+ORAMScheme.register(SquareRootORAM)

@@ -24,14 +24,26 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.controller.mixins import (
+    BoundedDrainMixin,
+    DeepestPlacementMixin,
+    SharedLeafMixin,
+)
+from repro.controller.scheme import ORAMScheme
 from repro.oram.block import Block
 from repro.oram.tree import BinaryTree
 from repro.utils.bitops import is_power_of_two
 from repro.utils.rng import DeterministicRng
 
 
-class ShiTreeORAM:
+class ShiTreeORAM(SharedLeafMixin, DeepestPlacementMixin, BoundedDrainMixin):
     """Functional binary-tree ORAM with root insertion and random eviction.
+
+    Implements the :class:`~repro.controller.scheme.ORAMScheme` protocol:
+    :meth:`begin_access` scans the path and re-inserts the remapped group
+    at the root, :meth:`finish_access` runs the randomized percolation
+    eviction, and :meth:`dummy_access` is one extra eviction round
+    (draining the overflow area, this scheme's stash).
 
     Args:
         levels: tree depth ``L`` (2**levels leaves).
@@ -69,10 +81,15 @@ class ShiTreeORAM:
         ]
         #: overflow area for blocks that find no room (counted, bounded)
         self.overflow: Dict[int, Block] = {}
+        #: soft overflow bound used by ``drain_stash``
+        self.overflow_capacity = max(8, 2 * self.bucket_size)
         # Statistics
         self.accesses = 0
         self.bucket_touches = 0
         self.evicted_blocks = 0
+        self.dummy_accesses = 0
+        self.stash_soft_overflows = 0
+        self._pending_access = False
         # Populate: every block starts at the leaf bucket of its leaf (or
         # the closest ancestor with room).
         for addr in range(num_blocks):
@@ -80,31 +97,29 @@ class ShiTreeORAM:
 
     # ------------------------------------------------------------- plumbing
     def _place(self, block: Block) -> None:
-        for level in range(self.levels, -1, -1):
-            bucket = self.tree.bucket(self.tree.bucket_index(level, block.leaf))
-            if len(bucket) < self.bucket_size:
-                bucket.append(block)
-                return
-        self.overflow[block.addr] = block
+        def bucket_for(level: int, leaf: int) -> List[Block]:
+            return self.tree.bucket(self.tree.bucket_index(level, leaf))
+
+        if not self._place_deepest(block, self.levels, self.bucket_size, bucket_for):
+            self.overflow[block.addr] = block
 
     def leaf_of(self, addr: int) -> int:
         return self._leaves[addr]
 
     # ---------------------------------------------------------------- access
-    def access(self, addrs: Sequence[int], new_leaf: Optional[int] = None) -> Dict[int, Block]:
+    def begin_access(
+        self, addrs: Sequence[int], new_leaf: Optional[int] = None
+    ) -> Dict[int, Block]:
         """Fetch a (super) block: one path read + root re-insertion.
 
         All of ``addrs`` must share a leaf.  The path is scanned bucket by
         bucket (each scanned bucket is a memory touch), the members are
         removed, remapped to one fresh random leaf, and appended to the
-        root; then the eviction process runs.
+        root; the eviction process runs at :meth:`finish_access`.
         """
-        if not addrs:
-            raise ValueError("access needs at least one address")
-        leaf = self._leaves[addrs[0]]
-        for addr in addrs[1:]:
-            if self._leaves[addr] != leaf:
-                raise ValueError("super block members must share a leaf")
+        leaf = self._validated_shared_leaf(addrs, self._leaves.__getitem__)
+        if self._pending_access:
+            raise RuntimeError("previous access not finished")
         self.accesses += 1
         if self.observer is not None:
             self.observer.on_path_access(leaf, "real")
@@ -137,8 +152,55 @@ class ShiTreeORAM:
                 root.append(block)
             else:
                 self.overflow[addr] = block
-        self._evict()
+        self._pending_access = True
         return found
+
+    def finish_access(self) -> None:
+        """Run the randomized eviction committing the access."""
+        if not self._pending_access:
+            raise RuntimeError("no access in progress")
+        self._pending_access = False
+        self._evict()
+
+    def access(self, addrs: Sequence[int], new_leaf: Optional[int] = None) -> Dict[int, Block]:
+        """One complete access: path read + root insertion + eviction."""
+        found = self.begin_access(addrs, new_leaf)
+        self.finish_access()
+        return found
+
+    def remap_group(self, addrs: Sequence[int], leaf: Optional[int] = None) -> int:
+        """Re-point a group whose members are all root/overflow-resident."""
+        assigned = leaf if leaf is not None else self.rng.random_leaf(self.tree.num_leaves)
+        root = self.tree.bucket(0)
+        on_chip = {block.addr: block for block in root}
+        for addr in addrs:
+            self._leaves[addr] = assigned
+            block = self.overflow.get(addr) or on_chip.get(addr)
+            if block is not None:
+                block.leaf = assigned
+        return assigned
+
+    def dummy_access(self, kind: str = "dummy") -> None:
+        """One extra eviction round: background overflow relief."""
+        self.dummy_accesses += 1
+        if self.observer is not None:
+            # The eviction touches random buckets, not a single path; what
+            # the adversary sees is one more (public) eviction round.
+            self.observer.on_path_access(0, kind)
+        self._evict()
+
+    # drain_stash comes from BoundedDrainMixin (overflow is this scheme's
+    # stash: blocks that found no room on their path).
+    def _stash_over_limit(self) -> bool:
+        return len(self.overflow) > self.overflow_capacity
+
+    def _note_drain_overflow(self) -> None:
+        self.stash_soft_overflows += 1
+
+    @property
+    def stash_occupancy(self) -> int:
+        """Blocks currently in the overflow area (ORAMScheme protocol)."""
+        return len(self.overflow)
 
     # -------------------------------------------------------------- eviction
     def _evict(self) -> None:
@@ -185,6 +247,9 @@ class ShiTreeORAM:
             assert addr not in seen
             seen.add(addr)
         assert len(seen) == self.num_blocks, "blocks lost"
+
+
+ORAMScheme.register(ShiTreeORAM)
 
 
 def merge_pairs(oram: ShiTreeORAM, sbsize: int = 2) -> None:

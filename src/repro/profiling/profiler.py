@@ -205,6 +205,16 @@ class Profiler:
         if oram is not None:
             counters["stash_max_occupancy"] = oram.stash.max_occupancy
             counters["stash_soft_overflows"] = oram.stash_soft_overflows
+        # Per-phase pipeline attribution: a single controller exposes its
+        # pipeline directly; a sharded bank sums over its channels.
+        pipeline = getattr(system.backend, "pipeline", None)
+        if pipeline is not None:
+            for name, cycles in pipeline.breakdown().items():
+                counters[f"phase_{name}_cycles"] = cycles
+        elif hasattr(system.backend, "phase_breakdown"):
+            for name, cycles in system.backend.phase_breakdown().items():
+                counters[f"phase_{name}_cycles"] = cycles
+            counters["num_shards"] = system.backend.num_shards
         injector = getattr(system.backend, "injector", None)
         if injector is not None:
             counters["transient_faults"] = stats.transient_faults

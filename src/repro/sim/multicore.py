@@ -39,9 +39,10 @@ class MultiCoreSystem:
         self._now_global = 0
         self.llc = SetAssociativeCache(config.llc, name="llc")
         self.l1s = [SetAssociativeCache(config.l1, name=f"l1.{i}") for i in range(num_cores)]
+        from repro.controller.sharded import ShardedORAMBank
         from repro.memory.oram_backend import ORAMBackend
 
-        if isinstance(backend, ORAMBackend):
+        if isinstance(backend, (ORAMBackend, ShardedORAMBank)):
             backend.set_llc_probe(self.llc.contains)
 
     # ----------------------------------------------------------------- build
@@ -51,13 +52,21 @@ class MultiCoreSystem:
         scheme: str,
         traces: Sequence[Trace],
         config: Optional[SystemConfig] = None,
+        num_shards: int = 1,
     ) -> "MultiCoreSystem":
-        """Assemble a shared backend sized for the union footprint."""
+        """Assemble a shared backend sized for the union footprint.
+
+        ``num_shards > 1`` channel-interleaves the ORAM over independent
+        controller instances; misses from different cores to different
+        shards overlap their path accesses.
+        """
         from repro.analysis.experiments import experiment_config
 
         config = config or experiment_config()
         footprint = max(trace.footprint_blocks for trace in traces)
-        donor = SecureSystem.build(scheme, footprint_blocks=footprint, config=config)
+        donor = SecureSystem.build(
+            scheme, footprint_blocks=footprint, config=config, num_shards=num_shards
+        )
         return cls(config, donor.backend, num_cores=len(traces))
 
     # ------------------------------------------------------------------- run

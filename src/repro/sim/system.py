@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.config import SystemConfig
+from repro.controller.sharded import ShardedORAMBank
 from repro.core.dynamic import DynamicSuperBlockScheme
 from repro.core.thresholds import (
     AdaptiveThresholdPolicy,
@@ -54,10 +55,11 @@ class SecureSystem:
         self.hierarchy = CacheHierarchy(
             config.l1, config.llc, victim_callback=self._on_llc_victim
         )
-        if isinstance(backend, ORAMBackend):
+        if isinstance(backend, (ORAMBackend, ShardedORAMBank)):
             # hierarchy.contains is a pure delegation to llc.contains; hand
             # the backend the LLC's bound method directly (the merge
-            # algorithm probes it on every miss).
+            # algorithm probes it on every miss).  The sharded bank wraps
+            # the probe with each channel's address translation.
             backend.set_llc_probe(self.hierarchy.llc.contains)
         self._now = 0
         #: prefetched lines not yet usable: addr -> fill completion cycle
@@ -79,6 +81,7 @@ class SecureSystem:
         observer=None,
         fault_injector=None,
         resilience=None,
+        num_shards: int = 1,
     ) -> "SecureSystem":
         """Assemble a system for one of the paper's configurations.
 
@@ -108,6 +111,11 @@ class SecureSystem:
                 rejected for ``dram``.
             resilience: optional :class:`repro.faults.ResilienceConfig`
                 for the backend's retry/degradation ladder.
+            num_shards: channel-interleave the ORAM over this many
+                independent controller instances
+                (:class:`~repro.controller.sharded.ShardedORAMBank`).
+                The default ``1`` builds the plain single-controller
+                backend -- bit-identical to the pre-sharding simulator.
         """
         config = config or SystemConfig()
         rng = DeterministicRng(config.seed)
@@ -130,13 +138,46 @@ class SecureSystem:
             base_scheme = base_scheme[: -len("_mpre")]
             prefetcher = MarkovPrefetcher(replace(config.prefetch, enabled=True))
 
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
         if base_scheme == "dram":
             if periodic:
                 raise ValueError("periodic accesses only apply to ORAM backends")
             if fault_injector is not None or resilience is not None:
                 raise ValueError("fault injection models ORAM storage, not DRAM")
+            if num_shards != 1:
+                raise ValueError("sharded banks model ORAM channels, not DRAM")
             backend: MemoryBackend = DRAMBackend(config.dram, config.oram.block_bytes)
             return cls(config, backend, label=scheme, prefetcher=prefetcher)
+
+        if num_shards > 1:
+            if periodic:
+                raise ValueError(
+                    "periodic accesses are not supported on sharded banks"
+                )
+            if policy is not None:
+                raise ValueError(
+                    "a threshold policy is stateful and cannot be shared "
+                    "across shards; let each shard build its own default"
+                )
+            # Each channel gets its own controller: scheme instance, tree
+            # scaled to its slice of the footprint, and a distinct RNG fork.
+            per_shard_blocks = (footprint_blocks + num_shards - 1) // num_shards
+            shard_config = config.oram.scaled_to_footprint(per_shard_blocks)
+            shards = [
+                ORAMBackend(
+                    shard_config,
+                    config.dram,
+                    cls._make_scheme(base_scheme, config, policy, static_sbsize),
+                    rng.fork(11 + 101 * index),
+                    observer=observer,
+                    fault_injector=fault_injector,
+                    resilience=resilience,
+                )
+                for index in range(num_shards)
+            ]
+            bank = ShardedORAMBank(shards)
+            return cls(config, bank, label=scheme, prefetcher=prefetcher)
 
         sb_scheme = cls._make_scheme(base_scheme, config, policy, static_sbsize)
         oram_config = config.oram.scaled_to_footprint(footprint_blocks)
@@ -301,6 +342,8 @@ class SecureSystem:
     def _address_limit(self) -> int:
         if isinstance(self.backend, ORAMBackend):
             return self.backend.oram.position_map.num_blocks
+        if isinstance(self.backend, ShardedORAMBank):
+            return self.backend.num_blocks
         return 1 << 62
 
     # --------------------------------------------------------------- plumbing
@@ -352,6 +395,8 @@ class SecureSystem:
             # Robustness counters ride in ``extra`` so the pinned golden
             # result schema (and every fault-free consumer) is untouched.
             result.extra["stash_soft_overflows"] = backend.oram.stash_soft_overflows
+            for name, cycles in backend.pipeline.breakdown().items():
+                result.extra[f"phase_{name}_cycles"] = cycles
             if backend.injector is not None or backend.resilience is not None:
                 result.extra["transient_faults"] = stats.transient_faults
                 result.extra["fault_retries"] = stats.fault_retries
@@ -359,5 +404,29 @@ class SecureSystem:
                 result.extra["forced_evictions"] = stats.forced_evictions
             if backend.injector is not None:
                 for name, value in backend.injector.stats.as_dict().items():
+                    result.extra[f"injected_{name}"] = value
+        elif isinstance(self.backend, ShardedORAMBank):
+            bank = self.backend
+            result.stash_max_occupancy = bank.stash_max_occupancy()
+            result.posmap_cache_hit_rate = bank.aggregate_posmap_hit_rate()
+            for shard in bank.shards:
+                scheme_stats = shard.scheme.stats
+                result.merges += scheme_stats.merges
+                result.breaks += scheme_stats.breaks
+                result.prefetched_blocks += scheme_stats.prefetched_blocks
+                result.prefetch_hits += scheme_stats.prefetch_hits
+                result.prefetch_misses += scheme_stats.prefetch_misses
+            result.extra["num_shards"] = bank.num_shards
+            result.extra["stash_soft_overflows"] = bank.stash_soft_overflows()
+            for name, cycles in bank.phase_breakdown().items():
+                result.extra[f"phase_{name}_cycles"] = cycles
+            injected = bank.shards[0].injector
+            if injected is not None or bank.shards[0].resilience is not None:
+                result.extra["transient_faults"] = stats.transient_faults
+                result.extra["fault_retries"] = stats.fault_retries
+                result.extra["fault_delay_cycles"] = stats.fault_delay_cycles
+                result.extra["forced_evictions"] = stats.forced_evictions
+            if injected is not None:
+                for name, value in injected.stats.as_dict().items():
                     result.extra[f"injected_{name}"] = value
         return result

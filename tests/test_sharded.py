@@ -1,0 +1,247 @@
+"""Tests for the channel-interleaved sharded ORAM bank.
+
+Covers the :class:`~repro.controller.sharded.ShardedORAMBank` acceptance
+surface: builder guards, the 1-shard bypass (bit-identical to the plain
+controller), address interleaving, deterministic batching, aggregate
+statistics views, the merged ``fsck`` audit, fault injection through a
+bank, and the divide-by-zero regression on aggregate posmap rates.
+"""
+
+import pytest
+
+from repro.controller.sharded import ShardedORAMBank
+from repro.faults import FaultConfig, FaultInjector, run_fsck_bank
+from repro.memory.oram_backend import ORAMBackend
+from repro.sim.system import SecureSystem
+from repro.workloads.synthetic import locality_mix_trace
+
+FOOTPRINT = 512
+
+
+def build_sharded(num_shards=4, scheme="dyn", **kwargs):
+    return SecureSystem.build(
+        scheme, footprint_blocks=FOOTPRINT, num_shards=num_shards, **kwargs
+    )
+
+
+def short_trace(accesses=3000, locality=0.8):
+    return locality_mix_trace(
+        locality, footprint_blocks=FOOTPRINT, accesses=accesses
+    )
+
+
+class TestBuildGuards:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            build_sharded(num_shards=0)
+
+    def test_dram_shards_rejected(self):
+        with pytest.raises(ValueError, match="DRAM"):
+            build_sharded(scheme="dram", num_shards=2)
+
+    def test_periodic_shards_rejected(self):
+        with pytest.raises(ValueError):
+            build_sharded(scheme="dyn_intvl", num_shards=2)
+
+    def test_explicit_policy_shards_rejected(self):
+        from repro.core.thresholds import AdaptiveThresholdPolicy
+
+        with pytest.raises(ValueError):
+            build_sharded(num_shards=2, policy=AdaptiveThresholdPolicy())
+
+    def test_one_shard_builds_plain_controller(self):
+        system = build_sharded(num_shards=1)
+        assert isinstance(system.backend, ORAMBackend)
+        assert not isinstance(system.backend, ShardedORAMBank)
+
+    def test_multi_shard_builds_bank(self):
+        system = build_sharded(num_shards=4)
+        assert isinstance(system.backend, ShardedORAMBank)
+        assert system.backend.num_shards == 4
+
+
+class TestOneShardEquivalence:
+    def test_num_shards_1_bit_identical_to_default_build(self):
+        trace = short_trace()
+        baseline = SecureSystem.build("dyn", footprint_blocks=FOOTPRINT).run(trace)
+        explicit = build_sharded(num_shards=1).run(trace)
+        assert explicit.cycles == baseline.cycles
+        assert explicit.total_memory_accesses == baseline.total_memory_accesses
+        assert explicit.demand_requests == baseline.demand_requests
+        assert explicit.dummy_accesses == baseline.dummy_accesses
+
+
+class TestShardedRuns:
+    def test_four_shard_smoke(self):
+        trace = short_trace()
+        result = build_sharded(num_shards=4).run(trace)
+        assert result.extra["num_shards"] == 4
+        assert result.cycles > 0
+        assert result.demand_requests > 0
+
+    def test_sharded_run_deterministic(self):
+        trace = short_trace()
+
+        def one_run():
+            result = build_sharded(num_shards=4).run(trace)
+            return result.cycles, result.total_memory_accesses, dict(result.extra)
+
+        assert one_run() == one_run()
+
+    def test_work_spreads_over_every_shard(self):
+        trace = short_trace()
+        system = build_sharded(num_shards=4)
+        system.run(trace)
+        for shard in system.backend.shards:
+            assert shard.stats.demand_requests > 0
+
+    def test_bank_stays_consistent_after_run(self):
+        system = build_sharded(num_shards=4)
+        system.run(short_trace())
+        report = run_fsck_bank(system.backend)
+        assert report.ok, report.summary()
+        assert report.expected_blocks == sum(
+            shard.oram.position_map.num_blocks for shard in system.backend.shards
+        )
+
+
+class TestAddressInterleaving:
+    def test_demand_fills_come_back_global(self):
+        bank = build_sharded(num_shards=4).backend
+        for addr in [0, 1, 2, 3, 17, 42, 255]:
+            result = bank.demand_access(addr, now=0, is_write=False)
+            filled = [a for a, _ in result.filled]
+            assert addr in filled
+            # Every fill from this channel carries the channel's congruence
+            # class: interleaving is addr % num_shards.
+            assert all(a % bank.num_shards == addr % bank.num_shards for a in filled)
+
+    def test_global_address_range(self):
+        bank = build_sharded(num_shards=4).backend
+        per_shard = min(
+            shard.oram.position_map.num_blocks for shard in bank.shards
+        )
+        assert bank.num_blocks == 4 * per_shard
+
+
+class TestBatchedAccess:
+    REQUESTS = [(a, 0, False) for a in [5, 8, 1, 13, 2, 6, 10, 3]]
+
+    def test_results_in_input_order(self):
+        bank = build_sharded(num_shards=4).backend
+        results = bank.access_batch(self.REQUESTS)
+        assert len(results) == len(self.REQUESTS)
+        for (addr, _, _), result in zip(self.REQUESTS, results):
+            assert addr in [a for a, _ in result.filled]
+
+    def test_batch_deterministic_across_fresh_banks(self):
+        def one_batch():
+            bank = build_sharded(num_shards=4).backend
+            bank.access_batch(self.REQUESTS)
+            stats = bank.stats
+            return bank.busy_until, stats.memory_accesses, stats.demand_requests
+
+        assert one_batch() == one_batch()
+
+
+class TestAggregateViews:
+    def test_stats_sum_over_shards(self):
+        system = build_sharded(num_shards=4)
+        system.run(short_trace())
+        bank = system.backend
+        assert bank.stats.demand_requests == sum(
+            shard.stats.demand_requests for shard in bank.shards
+        )
+        assert bank.stats.memory_accesses == sum(
+            shard.stats.memory_accesses for shard in bank.shards
+        )
+
+    def test_busy_until_is_worst_channel(self):
+        system = build_sharded(num_shards=4)
+        system.run(short_trace())
+        bank = system.backend
+        assert bank.busy_until == max(shard.busy_until for shard in bank.shards)
+
+    def test_aggregate_views_not_assignable(self):
+        bank = build_sharded(num_shards=2).backend
+        with pytest.raises(AttributeError):
+            bank.stats = None
+        with pytest.raises(AttributeError):
+            bank.busy_until = 0
+
+    def test_phase_breakdown_sums_pipelines(self):
+        system = build_sharded(num_shards=4)
+        system.run(short_trace())
+        bank = system.backend
+        breakdown = bank.phase_breakdown()
+        for name in ("posmap", "path_read", "writeback"):
+            assert breakdown[name] == sum(
+                shard.pipeline.breakdown()[name] for shard in bank.shards
+            )
+
+
+class TestPosmapRateRegression:
+    """Divide-by-zero regressions: rates on untouched hierarchies are 0.0."""
+
+    def test_fresh_hierarchy_rates_are_zero(self):
+        backend = SecureSystem.build("dyn", footprint_blocks=FOOTPRINT).backend
+        assert backend.posmap_hierarchy.hit_rate() == 0.0
+        assert backend.posmap_hierarchy.average_extra_accesses() == 0.0
+
+    def test_fresh_bank_aggregate_rate_is_zero(self):
+        bank = build_sharded(num_shards=4).backend
+        assert bank.aggregate_posmap_hit_rate() == 0.0
+
+    def test_used_bank_rate_in_unit_interval(self):
+        system = build_sharded(num_shards=4)
+        system.run(short_trace())
+        rate = system.backend.aggregate_posmap_hit_rate()
+        assert 0.0 <= rate <= 1.0
+
+
+class TestBankFsck:
+    def test_tampered_shard_errors_are_prefixed(self):
+        system = build_sharded(num_shards=4)
+        system.run(short_trace(accesses=1500))
+        bank = system.backend
+        victim = bank.shards[2].oram
+        # Drop one real block from the victim's tree: the census and
+        # duplicate checks must flag it, attributed to shard 2 only.
+        for index in range(victim.tree.num_buckets):
+            bucket = victim.tree.bucket(index)
+            if bucket:
+                del bucket[0]
+                break
+        report = run_fsck_bank(bank)
+        assert not report.ok
+        assert all(error.startswith("shard 2:") for error in report.errors)
+
+
+class TestShardedFaultInjection:
+    def run_faulty(self):
+        injector = FaultInjector(
+            FaultConfig(seed=7, transient_rate=0.05, delay_rate=0.05, delay_cycles=90)
+        )
+        system = build_sharded(num_shards=4, fault_injector=injector)
+        result = system.run(short_trace(accesses=4000))
+        return system, result
+
+    def test_faults_counted_through_the_bank(self):
+        system, faulty = self.run_faulty()
+        clean = build_sharded(num_shards=4).run(short_trace(accesses=4000))
+        assert faulty.extra["transient_faults"] > 0
+        assert faulty.extra["fault_retries"] > 0
+        assert faulty.extra["fault_delay_cycles"] > 0
+        assert faulty.cycles > clean.cycles
+
+    def test_bank_survives_faults_consistent(self):
+        system, _ = self.run_faulty()
+        report = run_fsck_bank(system.backend)
+        assert report.ok, report.summary()
+
+    def test_faulty_sharded_run_deterministic(self):
+        def one_run():
+            _, result = self.run_faulty()
+            return result.cycles, dict(result.extra)
+
+        assert one_run() == one_run()
