@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast profile shards soak examples gallery audit clean
+.PHONY: install test bench bench-fast profile shards trace soak examples gallery audit clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,6 +26,10 @@ profile:
 shards:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_shards.py
 	PYTHONPATH=src $(PYTHON) -m repro run -w locality:80 -s dyn --accesses 20000 --warmup 0 --shards 4
+
+trace:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_trace_overhead.py
+	PYTHONPATH=src $(PYTHON) -m repro metrics -w locality:80 -s dyn --accesses 20000
 
 soak:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_soak_faults.py

@@ -8,7 +8,10 @@ Usage (also via ``python -m repro``):
     repro sweep locality -s stat,dyn         # Figure 6a
     repro sweep stash -w ocean_c             # Figure 12
     repro run -w ocean_c -s dyn --shards 4   # channel-interleaved ORAM bank
+    repro run -w mcf -s dyn --trace-out mcf.jsonl   # per-access span trace
     repro trace -w mcf -o mcf.trace          # export a trace file
+    repro trace --report mcf.jsonl           # summarize a span trace
+    repro metrics -w ocean_c -s dyn          # metrics registry + uniformity
     repro audit -w ocean_c                   # obliviousness statistics
     repro parity --scheme all                # one trace, every ORAMScheme
 
@@ -125,6 +128,16 @@ def _run_build_kwargs(args):
     return build_kwargs
 
 
+def _trace_out_path(template: str, scheme: str, schemes: List[str]) -> str:
+    """Span-trace output path; multi-scheme runs get one file per scheme."""
+    if len(schemes) == 1:
+        return template
+    stem, dot, suffix = template.rpartition(".")
+    if not dot:
+        return f"{template}.{scheme}"
+    return f"{stem}.{scheme}.{suffix}"
+
+
 def cmd_run(args) -> int:
     trace = build_trace(args.workload, args.accesses, seed=args.seed)
     schemes = _parse_schemes(args.schemes)
@@ -135,10 +148,28 @@ def cmd_run(args) -> int:
         + (f", {shards}-shard ORAM bank" if shards != 1 else "")
     )
     profilers = {}
-    system_hook = None
+    recorders = {}
+    hooks = []
     if getattr(args, "profile", False):
+        hooks.append(lambda scheme, system: profilers.__setitem__(
+            scheme, Profiler().attach(system)
+        ))
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.observability import JsonlTraceRecorder
+
+        def attach_trace(scheme, system):
+            if scheme.startswith("dram"):
+                return  # DRAM baselines have no pipeline to trace
+            path = _trace_out_path(trace_out, scheme, schemes)
+            recorders[scheme] = system.attach_recorder(JsonlTraceRecorder(path))
+
+        hooks.append(attach_trace)
+    system_hook = None
+    if hooks:
         def system_hook(scheme, system):
-            profilers[scheme] = Profiler().attach(system)
+            for hook in hooks:
+                hook(scheme, system)
     faults_on = _fault_build_kwargs(args)
     results = run_schemes(
         trace,
@@ -198,6 +229,12 @@ def cmd_run(args) -> int:
         if profiler is not None and profiler.profile is not None:
             print()
             print(profiler.profile.report())
+    for scheme, recorder in recorders.items():
+        recorder.close()
+        print(
+            f"\nwrote {recorder.span_count()} spans "
+            f"({len(recorder.records)} records) for {scheme} to {recorder.path}"
+        )
     return 0
 
 
@@ -236,6 +273,22 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    if args.report:
+        from repro.observability import InMemoryRecorder, collect_trace, read_jsonl_trace
+
+        recorder = InMemoryRecorder()
+        recorder.records = read_jsonl_trace(args.report)
+        starts = [r for r in recorder.events() if r["event"] == "run_start"]
+        for event in starts:
+            print(
+                f"run: {event.get('workload', '?')} on {event.get('scheme', '?')} "
+                f"({event.get('entries', '?')} trace entries)"
+            )
+        registry = collect_trace(recorder)
+        print(registry.render(f"trace report ({args.report})"))
+        return 0
+    if not args.output:
+        raise SystemExit("either -o/--output (export) or --report is required")
     trace = build_trace(args.workload, args.accesses, seed=args.seed)
     trace.save(args.output)
     print(
@@ -243,6 +296,38 @@ def cmd_trace(args) -> int:
         f"to {args.output}"
     )
     return 0
+
+
+def cmd_metrics(args) -> int:
+    """One traced run: metrics registry report + live uniformity monitor."""
+    from repro.observability import (
+        InMemoryRecorder,
+        LeafUniformityMonitor,
+        collect_trace,
+    )
+
+    trace = build_trace(args.workload, args.accesses, seed=args.seed)
+    if args.scheme not in KNOWN_SCHEMES or args.scheme.startswith("dram"):
+        raise SystemExit(f"metrics needs an ORAM scheme, not '{args.scheme}'")
+    # Probe geometry first: the monitor needs the scaled tree's leaf count.
+    config = experiment_config()
+    num_leaves = config.oram.scaled_to_footprint(trace.footprint_blocks).num_leaves
+    monitor = LeafUniformityMonitor(num_leaves, window=args.window)
+    system = SecureSystem.build(
+        args.scheme, trace.footprint_blocks, config, observer=monitor
+    )
+    recorder = system.attach_recorder(InMemoryRecorder())
+    result = system.run(trace)
+    print(
+        f"{trace.name} on {args.scheme}: {result.cycles:,} cycles, "
+        f"{result.llc_misses:,} LLC misses"
+    )
+    registry = system.metrics()
+    collect_trace(recorder, registry)
+    print(registry.render("metrics"))
+    monitor.flush()
+    print(monitor.render())
+    return 0 if monitor.healthy else 1
 
 
 def cmd_audit(args) -> int:
@@ -364,6 +449,12 @@ def make_parser() -> argparse.ArgumentParser:
         help="channel-interleave the ORAM over N independent controller "
         "instances (1 = the paper's single serialized controller)",
     )
+    run_p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a per-access span trace (JSONL) per ORAM scheme; "
+        "multi-scheme runs insert the scheme name before the suffix",
+    )
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="parameter sweeps (locality/stash/z)")
@@ -372,10 +463,32 @@ def make_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("-s", "--schemes", default="stat,dyn")
     sweep_p.set_defaults(func=cmd_sweep)
 
-    trace_p = sub.add_parser("trace", help="export a workload trace to a file")
-    common(trace_p)
-    trace_p.add_argument("-o", "--output", required=True)
+    trace_p = sub.add_parser(
+        "trace", help="export a workload trace, or summarize a span trace"
+    )
+    common(trace_p, workload_required=False)
+    trace_p.add_argument("-o", "--output", default=None)
+    trace_p.add_argument(
+        "--report",
+        metavar="FILE",
+        default=None,
+        help="summarize a span-trace JSONL written by `repro run --trace-out`",
+    )
     trace_p.set_defaults(func=cmd_trace)
+
+    metrics_p = sub.add_parser(
+        "metrics", help="metrics registry + leaf-uniformity report for one run"
+    )
+    common(metrics_p)
+    metrics_p.add_argument("-s", "--scheme", default="dyn")
+    metrics_p.add_argument(
+        "--window",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="leaf observations per uniformity test window",
+    )
+    metrics_p.set_defaults(func=cmd_metrics)
 
     audit_p = sub.add_parser("audit", help="obliviousness audit of a scheme")
     common(audit_p)

@@ -165,14 +165,34 @@ class AccessPipeline:
         self.phase_cycles["fault"] = 0
         self.requests = 0
 
-    def execute(self, addr: int, start: int, run_scheme: bool) -> tuple:
-        """One full oblivious access; returns (completion_cycle, outcome)."""
+    def execute(
+        self, addr: int, start: int, run_scheme: bool, kind: str = "demand"
+    ) -> tuple:
+        """One full oblivious access; returns (completion_cycle, outcome).
+
+        ``kind`` labels the request for tracing ("demand" / "prefetch" /
+        "writeback"); it has no effect on the access itself.
+        """
         backend = self.backend
         ctx = AccessContext(addr, start, run_scheme)
         phase_cycles = self.phase_cycles
-        for phase in self.phases:
-            phase.run(backend, ctx)
-            phase_cycles[phase.name] += phase.cycles(backend, ctx)
+        recorder = backend.recorder
+        if recorder is None:
+            # Disabled-tracing fast path: identical to the pre-tracing loop.
+            for phase in self.phases:
+                phase.run(backend, ctx)
+                phase_cycles[phase.name] += phase.cycles(backend, ctx)
+        else:
+            scheme_stats = backend.scheme.stats
+            merges_before = scheme_stats.merges
+            breaks_before = scheme_stats.breaks
+            retries_before = backend.stats.fault_retries
+            span_phases: Dict[str, int] = {}
+            for phase in self.phases:
+                phase.run(backend, ctx)
+                cycles = phase.cycles(backend, ctx)
+                phase_cycles[phase.name] += cycles
+                span_phases[phase.name] = cycles
         phase_cycles["fault"] += ctx.fault_delay
         self.requests += 1
         # ----------------------------------------------------------- timing
@@ -188,9 +208,32 @@ class AccessPipeline:
         if policy is not None:
             if ctx.evictions:
                 policy.on_background_eviction(ctx.evictions)
-            elapsed = max(1, completion - backend._last_request_cycle)
-            policy.on_request(busy_cycles=latency, elapsed_cycles=elapsed)
+            # A same-cycle burst (sharded batches) may land elapsed == 0;
+            # the policy guards that boundary itself (Equation 1).
+            policy.on_request(
+                busy_cycles=latency,
+                elapsed_cycles=completion - backend._last_request_cycle,
+            )
         backend._last_request_cycle = completion
+        if recorder is not None:
+            recorder.record_span(
+                {
+                    "seq": recorder.next_seq(),
+                    "kind": kind,
+                    "addr": addr * backend.addr_stride + backend.shard_index,
+                    "shard": backend.shard_index,
+                    "start": start,
+                    "end": completion,
+                    "phases": span_phases,
+                    "fault_delay": ctx.fault_delay,
+                    "retries": backend.stats.fault_retries - retries_before,
+                    "evictions": ctx.evictions,
+                    "posmap_extra": ctx.extra,
+                    "stash": len(backend.oram.stash),
+                    "merges": scheme_stats.merges - merges_before,
+                    "breaks": scheme_stats.breaks - breaks_before,
+                }
+            )
         return completion, ctx.outcome
 
     def breakdown(self) -> Dict[str, int]:

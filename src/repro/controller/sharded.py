@@ -58,6 +58,11 @@ class ShardedORAMBank(MemoryBackend):
             raise ValueError("need at least one shard")
         self.shards: List[ORAMBackend] = list(shards)
         self.num_shards = len(self.shards)
+        for index, shard in enumerate(self.shards):
+            # Spans emitted by a channel's pipeline carry the channel index
+            # and the *global* address (local * stride + index).
+            shard.shard_index = index
+            shard.addr_stride = self.num_shards
         #: valid global addresses: every (shard, local) pair must exist in
         #: its shard, so the bank exposes the smallest shard rounded down.
         self.num_blocks = self.num_shards * min(
@@ -66,6 +71,19 @@ class ShardedORAMBank(MemoryBackend):
         self._llc_probe_installed = False
 
     # ----------------------------------------------------------------- wiring
+    def set_recorder(self, recorder) -> None:
+        """Share one span recorder across every channel.
+
+        A single recorder hands out the global ``seq`` numbers, so spans
+        from interleaved channels land in one totally-ordered stream.
+        """
+        for shard in self.shards:
+            shard.set_recorder(recorder)
+
+    @property
+    def recorder(self):
+        return self.shards[0].recorder
+
     def set_llc_probe(self, probe: Callable[[int], bool]) -> None:
         """Install the (global-address) LLC tag probe on every shard.
 

@@ -115,7 +115,12 @@ class AdaptiveThresholdPolicy(ThresholdPolicy):
         w = self._window
         w.requests += 1
         w.busy_cycles += busy_cycles
-        w.elapsed_cycles += elapsed_cycles
+        # Same-cycle bursts (e.g. two shards of a batch completing on one
+        # cycle) legitimately report ``elapsed_cycles == 0``; they add busy
+        # evidence but no wall-clock.  Clamp negatives too, so a caller
+        # with a skewed clock cannot shrink the window's elapsed total.
+        if elapsed_cycles > 0:
+            w.elapsed_cycles += elapsed_cycles
         if w.requests >= self.window_requests:
             self._roll_window()
 
@@ -132,7 +137,15 @@ class AdaptiveThresholdPolicy(ThresholdPolicy):
         w = self._window
         total_requests = w.requests + w.background_evictions
         self.eviction_rate = w.background_evictions / max(1, total_requests)
-        self.access_rate = min(1.0, w.busy_cycles / max(1, w.elapsed_cycles))
+        # Equation 1's access rate is busy/elapsed over the window.  A
+        # window whose every request landed on one cycle has zero elapsed
+        # time: the ORAM was saturated, so the rate is 1 when any work ran
+        # (division would raise; ``max(1, ...)`` would *under*-report an
+        # all-zero-elapsed window as rate ~= busy instead of saturated).
+        if w.elapsed_cycles > 0:
+            self.access_rate = min(1.0, w.busy_cycles / w.elapsed_cycles)
+        else:
+            self.access_rate = 1.0 if w.busy_cycles > 0 else 0.0
         resolved = w.prefetch_hits + w.prefetch_misses
         if resolved > 0:
             self.prefetch_hit_rate = w.prefetch_hits / resolved

@@ -115,6 +115,16 @@ class RecoveryStats:
             "degraded_events": self.degraded_events,
         }
 
+    def to_registry(self, registry=None):
+        """Snapshot into a metrics registry under ``recovery.*`` names.
+
+        The dict above stays the journal/benchmark schema; registry
+        consumers (``repro metrics``, dashboards) get typed instruments.
+        """
+        from repro.observability.collect import collect_recovery
+
+        return collect_recovery(self, registry)
+
 
 class ResilientKVStore(ObliviousKVStore):
     """Oblivious KV store that survives faulty untrusted storage.
@@ -362,3 +372,12 @@ class ResilientKVStore(ObliviousKVStore):
     def fault_stats(self):
         """The injector's :class:`~repro.faults.injector.FaultStats`."""
         return self.injector.stats
+
+    def metrics(self, registry=None):
+        """One registry with the ladder's ``recovery.*`` counters plus the
+        injector's ``faults.injected_*`` totals (the ``repro metrics``
+        surface for resilient stores)."""
+        registry = self.recovery.to_registry(registry)
+        for name, value in self.injector.stats.as_dict().items():
+            registry.counter(f"faults.injected_{name}").set(value)
+        return registry

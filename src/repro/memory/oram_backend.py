@@ -37,6 +37,13 @@ from repro.utils.rng import DeterministicRng
 class ORAMBackend(MemoryBackend):
     """Path ORAM behind the LLC, with a pluggable super block scheme.
 
+    Tracing contract: ``recorder`` is ``None`` by default and the access
+    pipeline checks exactly that before building a span, so a backend with
+    tracing disabled performs the identical operations (and RNG draws) as
+    one built before tracing existed -- the golden ``SimResult`` pins this.
+    ``shard_index`` labels spans when the backend serves as a channel of a
+    :class:`~repro.controller.sharded.ShardedORAMBank`.
+
     Args:
         oram_config: functional + nominal ORAM parameters (already scaled
             to the workload footprint by the caller).
@@ -76,6 +83,14 @@ class ORAMBackend(MemoryBackend):
             cache_entries=oram_config.posmap_cache_entries,
         )
         self._llc_contains: Callable[[int], bool] = lambda addr: False
+        #: optional span sink (:mod:`repro.observability`); ``None`` is the
+        #: zero-cost disabled state the pipeline fast-paths on
+        self.recorder = None
+        #: channel index when owned by a ShardedORAMBank (spans carry it)
+        self.shard_index = 0
+        #: address interleave stride (num_shards when owned by a bank);
+        #: spans report the global address ``local * stride + shard_index``
+        self.addr_stride = 1
         scheme.attach(self.oram, self._probe_llc)
         # attach() just re-bound the scheme's on_llc_hit to the tracker;
         # re-export it so the system's hit loop calls the tracker directly.
@@ -107,6 +122,17 @@ class ORAMBackend(MemoryBackend):
             self._backoff_rng = rng.fork(0xBACF)
 
     # ----------------------------------------------------------------- wiring
+    def set_recorder(self, recorder) -> None:
+        """Install (or remove, with ``None``) a span recorder.
+
+        Disabled recorders (``enabled`` false, e.g. ``NullRecorder``) are
+        normalized to ``None`` so the pipeline keeps its single
+        ``is None`` fast-path check.
+        """
+        if recorder is not None and not getattr(recorder, "enabled", True):
+            recorder = None
+        self.recorder = recorder
+
     def set_llc_probe(self, probe: Callable[[int], bool]) -> None:
         """Install the LLC tag-probe callback (the system wires this after
         building the cache hierarchy)."""
@@ -180,17 +206,20 @@ class ORAMBackend(MemoryBackend):
                 f"{self.oram.position_map.num_blocks} blocks"
             )
 
-    def _perform_access(self, addr: int, start: int, run_scheme: bool) -> tuple:
+    def _perform_access(
+        self, addr: int, start: int, run_scheme: bool, kind: str = "demand"
+    ) -> tuple:
         """Shared functional + timing core of read/write/prefetch accesses.
 
         Delegates to the explicit phase pipeline (PosMap -> PathRead ->
         Remap -> Writeback); the scheme hook (Algorithms 1 and 2) runs in
         the remap phase, between the path read and the path write-back,
         while every member of the super block is physically in the stash.
+        ``kind`` only labels the span when tracing is enabled.
 
         Returns (completion_cycle, FetchOutcome-or-None).
         """
-        return self.pipeline.execute(addr, start, run_scheme)
+        return self.pipeline.execute(addr, start, run_scheme, kind)
 
     # ----------------------------------------------------------------- access
     def demand_access(self, addr: int, now: int, is_write: bool) -> DemandResult:
@@ -223,7 +252,9 @@ class ORAMBackend(MemoryBackend):
             return None
         self.stats.prefetch_requests += 1
         start = max(now, self.busy_until)
-        completion, outcome = self._perform_access(addr, start, run_scheme=True)
+        completion, outcome = self._perform_access(
+            addr, start, run_scheme=True, kind="prefetch"
+        )
         # Every line a prefetch brings in is a prefetched line, including
         # the nominal "demand" member.
         for member_addr, _ in outcome.to_llc:
@@ -245,7 +276,7 @@ class ORAMBackend(MemoryBackend):
         self._check_addr(addr)
         self.stats.write_accesses += 1
         start = max(now, self.busy_until)
-        self._perform_access(addr, start, run_scheme=False)
+        self._perform_access(addr, start, run_scheme=False, kind="writeback")
 
     def on_llc_hit(self, addr: int) -> None:
         self.scheme.on_llc_hit(addr)

@@ -16,6 +16,18 @@ the stash holds enough blocks for them to matter (they are background
 evictions); beyond that they are identical no-op path reads/writes, so they
 are charged and counted but not executed block-by-block.  This keeps
 compute-bound workloads simulable without changing any observable metric.
+
+Scheduling invariant: every access -- real or dummy -- issues exactly on
+the periodic grid, i.e. at a cycle congruent to 0 modulo
+``path_cycles + Oint``.  An earlier version reset the schedule from each
+access's *completion* cycle (``_next_slot = completion + Oint``), which
+silently drifted the public cadence off the grid whenever an access train
+ran long (PosMap misses, background evictions, fault retries) or a request
+arrived mid-slot after a backlogged burst -- precisely the data-dependent
+jitter the timing channel is supposed to hide.  The schedule now only ever
+advances in whole periods, and a request arriving after a slot opened
+waits for the next grid point (the open slot fires as the dummy it would
+have been in hardware).
 """
 
 from __future__ import annotations
@@ -58,8 +70,29 @@ class PeriodicORAMBackend(ORAMBackend):
         if timing_protection.interval_cycles < 0:
             raise ValueError("Oint must be non-negative")
         self.interval = timing_protection.interval_cycles
-        #: cycle at which the next scheduled access slot begins
+        #: the public schedule period: one path access plus the idle gap
+        self._period = self.timing.path_cycles + self.interval
+        #: cycle at which the next scheduled access slot begins; only ever
+        #: advanced by whole periods, so every slot is on the grid
         self._next_slot = 0
+
+    def _fire_slot_dummy(self, functional: bool) -> None:
+        """Consume the slot at ``_next_slot`` with a dummy access."""
+        if functional:
+            self.oram.dummy_access(kind="periodic")
+        else:
+            # Identical no-op path read/write; charge and count only.
+            self.oram.dummy_accesses += 1
+        self.stats.dummy_accesses += 1
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record_event(
+                "periodic_dummy",
+                slot=self._next_slot,
+                shard=self.shard_index,
+                functional=functional,
+            )
+        self._next_slot += self._period
 
     def _advance_to(self, now: int) -> None:
         """Fire the dummy accesses for every slot that elapsed unused."""
@@ -67,31 +100,47 @@ class PeriodicORAMBackend(ORAMBackend):
         functional_budget = self.MAX_FUNCTIONAL_DUMMIES_PER_GAP
         while self._next_slot + path <= now:
             # A slot came and went with no pending request: dummy access.
-            if functional_budget > 0 and len(self.oram.stash) > 0:
-                self.oram.dummy_access(kind="periodic")
+            functional = functional_budget > 0 and len(self.oram.stash) > 0
+            if functional:
                 functional_budget -= 1
-            else:
-                # Identical no-op path read/write; charge and count only.
-                self.oram.dummy_accesses += 1
-            self.stats.dummy_accesses += 1
-            self._next_slot += path + self.interval
+            self._fire_slot_dummy(functional)
+
+    def _claim_slot(self, now: int) -> int:
+        """Return the grid slot this request issues at (firing missed dummies).
+
+        A request arriving strictly after a slot opened cannot use it: in
+        hardware that slot's access already began as a dummy.  Fire it and
+        wait for the next grid point.
+        """
+        self._advance_to(now)
+        if now > self._next_slot:
+            self._fire_slot_dummy(len(self.oram.stash) > 0)
+        return self._next_slot
+
+    def _schedule_after(self, slot: int, completion: int) -> None:
+        """Advance the schedule past an access train, staying on the grid.
+
+        The next slot is the first grid point at least ``Oint`` after the
+        train completes.  ``completion >= slot + path_cycles`` always, so
+        at least one whole period elapses.
+        """
+        period = self._period
+        gaps = -(-(completion + self.interval - slot) // period)
+        self._next_slot = slot + gaps * period
 
     def demand_access(self, addr: int, now: int, is_write: bool) -> DemandResult:
-        self._advance_to(now)
-        # The request starts at the first slot at or after its arrival.
-        slot = max(self._next_slot, now)
+        slot = self._claim_slot(now)
         result = super().demand_access(addr, slot, is_write)
-        # super() serialized on busy_until >= slot already; the next slot
-        # opens Oint after this access train finishes.
-        self._next_slot = result.completion_cycle + self.interval
+        # super() serialized on busy_until <= slot; the issue time is the
+        # grid slot exactly, and the schedule resumes on the grid.
+        self._schedule_after(slot, result.completion_cycle)
         return result
 
     def prefetch_access(self, addr: int, now: int) -> Optional[DemandResult]:
-        self._advance_to(now)
-        slot = max(self._next_slot, now)
+        slot = self._claim_slot(now)
         result = super().prefetch_access(addr, slot)
         if result is not None:
-            self._next_slot = result.completion_cycle + self.interval
+            self._schedule_after(slot, result.completion_cycle)
         return result
 
     def evict_line(self, addr: int, dirty: bool, now: int) -> None:
@@ -100,11 +149,12 @@ class PeriodicORAMBackend(ORAMBackend):
         if not dirty:
             return
         self._check_addr(addr)
-        self._advance_to(now)
         self.stats.write_accesses += 1
-        slot = max(self._next_slot, now)
-        completion, _ = self._perform_access(addr, slot, run_scheme=False)
-        self._next_slot = completion + self.interval
+        slot = self._claim_slot(now)
+        completion, _ = self._perform_access(
+            addr, slot, run_scheme=False, kind="writeback"
+        )
+        self._schedule_after(slot, completion)
 
     def finalize(self, now: int) -> None:
         """Account the dummy slots up to the end of the run."""

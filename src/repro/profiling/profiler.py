@@ -186,50 +186,16 @@ class Profiler:
     # ---------------------------------------------------------------- helpers
     @staticmethod
     def _collect_counters(system) -> Dict[str, int]:
-        """Sample per-component event counters from a finished system."""
-        counters: Dict[str, int] = {}
-        hierarchy = system.hierarchy
-        counters["l1_hits"] = hierarchy.l1.hits
-        counters["l1_misses"] = hierarchy.l1.misses
-        counters["llc_hits"] = hierarchy.llc.hits
-        counters["llc_misses"] = hierarchy.llc.misses
-        counters["llc_evictions"] = hierarchy.llc.evictions
-        counters["llc_tag_probes"] = hierarchy.llc.probe_count
-        stats = system.backend.stats
-        counters["demand_requests"] = stats.demand_requests
-        counters["write_accesses"] = stats.write_accesses
-        counters["posmap_accesses"] = stats.posmap_accesses
-        counters["dummy_accesses"] = stats.dummy_accesses
-        counters["memory_accesses"] = stats.memory_accesses
-        oram = getattr(system.backend, "oram", None)
-        if oram is not None:
-            counters["stash_max_occupancy"] = oram.stash.max_occupancy
-            counters["stash_soft_overflows"] = oram.stash_soft_overflows
-        # Per-phase pipeline attribution: a single controller exposes its
-        # pipeline directly; a sharded bank sums over its channels.
-        pipeline = getattr(system.backend, "pipeline", None)
-        if pipeline is not None:
-            for name, cycles in pipeline.breakdown().items():
-                counters[f"phase_{name}_cycles"] = cycles
-        elif hasattr(system.backend, "phase_breakdown"):
-            for name, cycles in system.backend.phase_breakdown().items():
-                counters[f"phase_{name}_cycles"] = cycles
-            counters["num_shards"] = system.backend.num_shards
-        injector = getattr(system.backend, "injector", None)
-        if injector is not None:
-            counters["transient_faults"] = stats.transient_faults
-            counters["fault_retries"] = stats.fault_retries
-            counters["fault_delay_cycles"] = stats.fault_delay_cycles
-            counters["forced_evictions"] = stats.forced_evictions
-            counters["injected_faults"] = injector.stats.total_injected
-        scheme = getattr(system.backend, "scheme", None)
-        if scheme is not None:
-            counters["merges"] = scheme.stats.merges
-            counters["breaks"] = scheme.stats.breaks
-            counters["prefetched_blocks"] = scheme.stats.prefetched_blocks
-            counters["prefetch_hits"] = scheme.stats.prefetch_hits
-            counters["prefetch_misses"] = scheme.stats.prefetch_misses
-        return counters
+        """Sample per-component event counters from a finished system.
+
+        Delegates to the metrics subsystem's collector
+        (:func:`repro.observability.collect.system_counters`): one walk of
+        the component graph owns every counter name, and this profile keeps
+        the flat legacy key schema the benchmark artifacts pin.
+        """
+        from repro.observability.collect import system_counters
+
+        return system_counters(system)
 
 
 def dump_profiles(profiles: List[RunProfile], path: str) -> None:

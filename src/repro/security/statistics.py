@@ -19,6 +19,14 @@ from typing import List, Sequence, Tuple
 
 from scipy import stats as scipy_stats
 
+#: Returned by the chi-squared helpers when the sample is too small to
+#: test (empty sequences, or bin coarsening collapses below two bins).
+#: Statistic 0 / p-value 1 means "no evidence against the null" -- the
+#: correct neutral answer for a test that could not run -- and keeps
+#: live monitors (``repro.observability.uniformity``) working during
+#: warm-up without special-casing short windows.
+INSUFFICIENT_DATA: Tuple[float, float] = (0.0, 1.0)
+
 
 def chi_square_uniformity(
     leaves: Sequence[int], num_leaves: int, min_expected: float = 5.0
@@ -31,14 +39,20 @@ def chi_square_uniformity(
     Returns:
         (statistic, p_value); a healthy ORAM gives a p-value that is not
         tiny (the tests assert p > 1e-4 to keep flakiness negligible).
+        Sequences too short to test return :data:`INSUFFICIENT_DATA`
+        rather than raising: the coarsening loop would otherwise collapse
+        to a single bin, and a one-bin chi-squared has zero degrees of
+        freedom (scipy divides by it).
     """
     if not leaves:
-        raise ValueError("empty leaf sequence")
+        return INSUFFICIENT_DATA
     bins = num_leaves
     shift = 0
     while bins > 1 and len(leaves) / bins < min_expected:
         bins //= 2
         shift += 1
+    if bins < 2:
+        return INSUFFICIENT_DATA
     counts = Counter(leaf >> shift for leaf in leaves)
     observed = [counts.get(i, 0) for i in range(bins)]
     statistic, p_value = scipy_stats.chisquare(observed)
@@ -73,16 +87,20 @@ def sequences_indistinguishable(
     This is the operational form of the ORAM definition: run two different
     *logical* workloads and check the adversary cannot tell the physical
     sequences apart.  Returns (statistic, p_value); indistinguishable
-    sequences give a non-tiny p-value.
+    sequences give a non-tiny p-value.  Sequences too short to bin (or
+    empty) return :data:`INSUFFICIENT_DATA` -- see
+    :func:`chi_square_uniformity`.
     """
     if not leaves_a or not leaves_b:
-        raise ValueError("empty leaf sequence")
+        return INSUFFICIENT_DATA
     bins = num_leaves
     shift = 0
     smallest = min(len(leaves_a), len(leaves_b))
     while bins > 1 and smallest / bins < min_expected:
         bins //= 2
         shift += 1
+    if bins < 2:
+        return INSUFFICIENT_DATA
     count_a = Counter(leaf >> shift for leaf in leaves_a)
     count_b = Counter(leaf >> shift for leaf in leaves_b)
     table = [
@@ -96,7 +114,7 @@ def sequences_indistinguishable(
         if table[0][i] + table[1][i] > 0
     ]
     if len(cols) < 2:
-        return 0.0, 1.0
+        return INSUFFICIENT_DATA
     contingency = [[col[0] for col in cols], [col[1] for col in cols]]
     statistic, p_value, _, _ = scipy_stats.chi2_contingency(contingency)
     return float(statistic), float(p_value)

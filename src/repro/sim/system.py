@@ -206,6 +206,23 @@ class SecureSystem:
             )
         return cls(config, backend, label=scheme, prefetcher=prefetcher)
 
+    # ---------------------------------------------------------- observability
+    def attach_recorder(self, recorder):
+        """Enable structured tracing on the backend (``None`` disables).
+
+        Only ORAM backends (single controller or sharded bank) emit spans;
+        attaching to a DRAM baseline is a no-op.  Returns the recorder.
+        """
+        from repro.observability import attach_recorder
+
+        return attach_recorder(self.backend, recorder)
+
+    def metrics(self, registry=None):
+        """Snapshot every component counter into a ``MetricsRegistry``."""
+        from repro.observability.collect import collect_system
+
+        return collect_system(self, registry)
+
     @staticmethod
     def _make_scheme(
         name: str,
@@ -264,6 +281,15 @@ class SecureSystem:
         hierarchy = self.hierarchy
         backend = self.backend
         prefetcher = self.prefetcher
+        recorder = getattr(backend, "recorder", None)
+        if recorder is not None:
+            recorder.record_event(
+                "run_start",
+                workload=getattr(trace, "name", "trace"),
+                scheme=self.label,
+                entries=len(trace.entries),
+                start_cycle=self._now,
+            )
         # Bound-method locals: this loop body runs once per trace entry and
         # dominates the DRAM configurations' runtime.
         hierarchy_access = hierarchy.access
@@ -317,6 +343,14 @@ class SecureSystem:
                 self._issue_prefetches(addr, now)
         self._now = now
         backend.finalize(now)
+        if recorder is not None:
+            recorder.record_event(
+                "run_end",
+                cycles=now,
+                llc_misses=misses,
+                l1_hits=l1_hits,
+                llc_hits=llc_hits,
+            )
         final = self._collect(trace, now, l1_hits, llc_hits, misses, len(trace.entries))
         if warmup_snapshot is not None:
             final = SimResult.delta(final, warmup_snapshot)

@@ -80,3 +80,62 @@ class TestCommands:
 
         for scheme in KNOWN_SCHEMES:
             SecureSystem.build(scheme, footprint_blocks=256, config=experiment_config())
+
+
+class TestObservabilityCommands:
+    def test_run_trace_out_single_scheme(self, tmp_path, capsys):
+        out_file = tmp_path / "spans.jsonl"
+        code = main(
+            ["run", "-w", "locality:50", "-s", "dyn", "--accesses", "1000",
+             "--warmup", "0.2", "--trace-out", str(out_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "spans" in out
+        from repro.observability import is_span, read_jsonl_trace
+
+        records = read_jsonl_trace(str(out_file))
+        assert records[0]["event"] == "run_start"
+        assert any(is_span(record) for record in records)
+
+    def test_run_trace_out_multi_scheme_splits_files(self, tmp_path):
+        out_file = tmp_path / "spans.jsonl"
+        code = main(
+            ["run", "-w", "locality:50", "-s", "oram,dyn", "--accesses", "800",
+             "--warmup", "0.2", "--trace-out", str(out_file)]
+        )
+        assert code == 0
+        assert (tmp_path / "spans.oram.jsonl").exists()
+        assert (tmp_path / "spans.dyn.jsonl").exists()
+
+    def test_trace_report_mode(self, tmp_path, capsys):
+        out_file = tmp_path / "spans.jsonl"
+        main(
+            ["run", "-w", "locality:50", "-s", "dyn", "--accesses", "800",
+             "--warmup", "0.2", "--trace-out", str(out_file)]
+        )
+        capsys.readouterr()
+        assert main(["trace", "--report", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "trace report" in out
+        assert "trace.spans.demand" in out
+        assert "trace.latency.demand" in out
+
+    def test_trace_requires_output_or_report(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "-w", "locality:30", "--accesses", "100"])
+
+    def test_metrics_command(self, capsys):
+        code = main(
+            ["metrics", "-w", "locality:50", "-s", "dyn", "--accesses", "1500",
+             "--window", "512"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend.demand_requests" in out
+        assert "leaf uniformity" in out
+        assert "status: healthy" in out
+
+    def test_metrics_rejects_dram(self):
+        with pytest.raises(SystemExit):
+            main(["metrics", "-w", "locality:50", "-s", "dram", "--accesses", "100"])

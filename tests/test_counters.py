@@ -83,3 +83,132 @@ class TestPaperConstants:
     def test_initial_break_value_in_range(self):
         for sbsize in [2, 4, 8, 16]:
             assert 0 <= initial_break_value(sbsize) <= counter_max(sbsize)
+
+
+class TestSaturationWalks:
+    """P5 property: counters driven through the codec never wrap.
+
+    The merge/break counters live as position-map bits and are updated by
+    reconstruct -> adjust -> saturate -> store cycles; a missing clamp on
+    either side would wrap 3 -> 0 (losing locality evidence) or 0 -> 3
+    (merging on no evidence).  Model the update loop against a plain
+    clamped accumulator.
+    """
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.sampled_from([-1, 1]), max_size=200),
+    )
+    def test_unit_steps_track_clamped_accumulator(self, width, deltas):
+        value = 0
+        reference = 0
+        top = counter_max(width)
+        for delta in deltas:
+            # One full store/reload/update cycle, as the scheme performs it.
+            value = saturate(
+                bits_to_value(value_to_bits(value, width)) + delta, width
+            )
+            reference = min(top, max(0, reference + delta))
+            assert value == reference
+            assert 0 <= value <= top
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=300),
+        st.lists(st.integers(min_value=-5, max_value=5), max_size=60),
+    )
+    def test_arbitrary_steps_stay_in_range(self, width, start, deltas):
+        value = saturate(start, width)
+        for delta in deltas:
+            value = saturate(value + delta, width)
+            assert 0 <= value <= counter_max(width)
+            assert value_to_bits(value, width)  # encodable, no overflow
+
+
+class TestWidth2FastPathEquivalence:
+    """The pair-counter bit ops inlined in ``core/dynamic.py`` must agree
+    with the codec they bypass (the width-2 fast paths manipulate the two
+    position-map bits directly instead of slicing through the codec)."""
+
+    def test_merge_increment_matches_codec(self):
+        # _run_merge singleton path: value = (m0<<1)|m1; if value < 3: +1.
+        for m0 in (0, 1):
+            for m1 in (0, 1):
+                value = (m0 << 1) | m1
+                if value < 3:
+                    value += 1
+                expected = saturate(bits_to_value([m0, m1]) + 1, 2)
+                assert value == expected
+                assert [value >> 1, value & 1] == value_to_bits(expected, 2)
+
+    def test_evict_decrement_matches_codec(self):
+        # on_llc_evict singleton path: if value: value -= 1.
+        for m0 in (0, 1):
+            for m1 in (0, 1):
+                value = (m0 << 1) | m1
+                if value:
+                    value -= 1
+                expected = saturate(bits_to_value([m0, m1]) - 1, 2)
+                assert value == expected
+                assert [value >> 1, value & 1] == value_to_bits(expected, 2)
+
+    @given(st.integers(min_value=-10, max_value=14))
+    def test_break_store_clamp_matches_codec(self, raw):
+        # _run_break size==2 path: stored = 0 if raw < 0 else min(raw, 3).
+        stored = 0 if raw < 0 else (3 if raw > 3 else raw)
+        assert stored == saturate(raw, 2)
+        assert value_to_bits(stored, 2) == [stored >> 1, stored & 1]
+
+
+class TestSchemeCounterSaturation:
+    """Drive the real scheme past both counter rails (width-2 fast path)."""
+
+    def _build(self):
+        from repro.config import ORAMConfig
+        from repro.core.dynamic import DynamicSuperBlockScheme
+        from repro.core.thresholds import StaticThresholdPolicy
+        from repro.oram.path_oram import PathORAM
+        from repro.utils.rng import DeterministicRng
+
+        class NeverMerge(StaticThresholdPolicy):
+            def merge_threshold(self, result_size):
+                return 1000.0  # unreachable: the counter must rail, not wrap
+
+        config = ORAMConfig(levels=5, bucket_size=4, stash_blocks=60, utilization=0.5)
+        oram = PathORAM(config, DeterministicRng(5), populate=False)
+        llc = set()
+        scheme = DynamicSuperBlockScheme(max_sbsize=2, policy=NeverMerge())
+        scheme.attach(oram, lambda addr: addr in llc)
+        scheme.initialize()
+        oram.populate()
+        return oram, llc, scheme
+
+    def _access(self, oram, llc, scheme, addr):
+        members = scheme.members_for(addr)
+        blocks = oram.begin_access(members)
+        fetched = {m: blocks[m] for m in members if m not in llc}
+        outcome = scheme.process_fetch(addr, members, fetched)
+        oram.finish_access()
+        for filled, _ in outcome.to_llc:
+            llc.add(filled)
+
+    def _pair_counter(self, scheme):
+        return (scheme._merge_bits[0] << 1) | scheme._merge_bits[1]
+
+    def test_pair_counter_rails_high_then_low(self):
+        oram, llc, scheme = self._build()
+        self._access(oram, llc, scheme, 1)  # make the neighbor resident
+        for _ in range(10):
+            # Re-miss block 0 while 1 stays resident: +1 each time, far
+            # past counter_max(2) = 3.
+            llc.discard(0)
+            self._access(oram, llc, scheme, 0)
+        assert self._pair_counter(scheme) == 3
+        assert all(bit in (0, 1) for bit in scheme._merge_bits)
+        for _ in range(10):
+            # Evictions with no co-residence evidence: -1 each, past 0.
+            scheme._coresident[0] = 0
+            scheme.on_llc_evict(0)
+        assert self._pair_counter(scheme) == 0
+        assert all(bit in (0, 1) for bit in scheme._merge_bits)
+        oram.check_invariants()

@@ -2,6 +2,7 @@
 
 from repro.config import DRAMConfig, ORAMConfig, TimingProtectionConfig
 from repro.memory.periodic import PeriodicORAMBackend
+from repro.observability import InMemoryRecorder
 from repro.oram.super_block import BaselineScheme
 from repro.security.observer import AccessObserver
 from repro.utils.rng import DeterministicRng
@@ -48,6 +49,67 @@ class TestSchedule:
         before = backend.stats.dummy_accesses
         backend.finalize(now=50 * (backend.timing.path_cycles + 100))
         assert backend.stats.dummy_accesses > before
+
+
+class TestSlotGridInvariant:
+    """Regression tests for the timing-slot drift bug.
+
+    The schedule used to be reset from each access's *completion* cycle,
+    so any access train that ran long (PosMap misses, background
+    evictions) or any request arriving mid-slot pushed every later access
+    off the public grid -- data-dependent jitter in what is supposed to be
+    a fixed cadence.  The invariant now: every access, real or dummy,
+    issues at a cycle congruent to 0 modulo ``path_cycles + Oint``.
+    """
+
+    def test_issue_times_congruent_mod_period(self):
+        backend = make_backend(interval=100)
+        recorder = InMemoryRecorder()
+        backend.set_recorder(recorder)
+        period = backend.timing.path_cycles + backend.interval
+        rng = DeterministicRng(9)
+        now = 0
+        for i in range(60):
+            # Bursty mix: back-to-back demands, dirty write-backs,
+            # prefetches, and idle stretches that land arrivals mid-slot.
+            choice = rng.randbelow(4)
+            if choice == 0:
+                result = backend.demand_access(
+                    1 + (i % 32), now=now, is_write=bool(i % 2)
+                )
+                now = result.completion_cycle
+            elif choice == 1:
+                backend.evict_line(1 + (i % 32), dirty=True, now=now)
+                now = backend.busy_until
+            elif choice == 2:
+                result = backend.prefetch_access(33 + (i % 16), now=now)
+                if result is not None:
+                    now = result.completion_cycle
+            else:
+                now += 1 + rng.randbelow(3 * period)
+        backend.finalize(now + 5 * period)
+        starts = [r["start"] for r in recorder.records if "event" not in r]
+        assert len(starts) >= 20
+        assert all(start % period == 0 for start in starts)
+        # The dummies covering unused/expired slots are on the grid too.
+        dummy_slots = [
+            r["slot"] for r in recorder.records if r.get("event") == "periodic_dummy"
+        ]
+        assert dummy_slots
+        assert all(slot % period == 0 for slot in dummy_slots)
+
+    def test_mid_slot_arrival_burns_open_slot_as_dummy(self):
+        backend = make_backend(interval=100)
+        period = backend.timing.path_cycles + backend.interval
+        backend.demand_access(1, now=0, is_write=False)
+        open_slot = backend._next_slot
+        assert open_slot % period == 0
+        before = backend.stats.dummy_accesses
+        # Arriving strictly after the slot opened cannot use it: in
+        # hardware that slot's access already began (as a dummy).
+        backend.demand_access(2, now=open_slot + 7, is_write=False)
+        assert backend.stats.dummy_accesses == before + 1
+        assert backend._next_slot % period == 0
 
 
 class TestObliviousSchedule:

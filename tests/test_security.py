@@ -13,6 +13,7 @@ from repro.core.dynamic import DynamicSuperBlockScheme
 from repro.oram.path_oram import PathORAM
 from repro.security.observer import AccessObserver
 from repro.security.statistics import (
+    INSUFFICIENT_DATA,
     chi_square_uniformity,
     lag_autocorrelation,
     leaf_histogram,
@@ -131,11 +132,34 @@ class TestStatisticsHelpers:
     def test_histogram(self):
         assert leaf_histogram([0, 0, 3], 4) == [2, 0, 0, 1]
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            chi_square_uniformity([], 4)
-        with pytest.raises(ValueError):
-            sequences_indistinguishable([], [1], 4)
+    def test_empty_returns_insufficient_data(self):
+        # Regression: these used to raise ValueError, which crashed any
+        # live monitor fed a cold window.  Empty input is now a defined
+        # "cannot test" answer: statistic 0, p-value 1.
+        assert chi_square_uniformity([], 4) == INSUFFICIENT_DATA
+        assert sequences_indistinguishable([], [1], 4) == INSUFFICIENT_DATA
+
+    def test_short_sequence_does_not_collapse_to_one_bin(self):
+        # Regression: the bin-coarsening loop (`while bins > 1 and
+        # len(leaves)/bins < min_expected`) collapses to a single bin for
+        # very short sequences, and a one-bin chi-squared has zero degrees
+        # of freedom -- scipy divides by it (nan / ZeroDivision territory).
+        for n in range(1, 8):
+            statistic, p_value = chi_square_uniformity(list(range(n)), 64)
+            assert (statistic, p_value) == INSUFFICIENT_DATA
+
+    def test_short_pair_insufficient(self):
+        result = sequences_indistinguishable([1, 2], [3, 4], 64)
+        assert result == INSUFFICIENT_DATA
+
+    def test_sufficient_data_still_tested(self):
+        # The guard must not swallow real tests: a healthy-sized uniform
+        # sample gets an actual chi-squared verdict, not the sentinel.
+        rng = DeterministicRng(11)
+        leaves = [rng.randbelow(16) for _ in range(800)]
+        statistic, p_value = chi_square_uniformity(leaves, 16)
+        assert statistic > 0.0
+        assert p_value > P_FLOOR
 
     def test_autocorrelation_requires_length(self):
         with pytest.raises(ValueError):

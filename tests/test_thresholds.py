@@ -111,3 +111,65 @@ class TestAdaptivePolicy:
     def test_rejects_bad_window(self):
         with pytest.raises(ValueError):
             AdaptiveThresholdPolicy(window_requests=0)
+
+
+class TestZeroElapsedBoundary:
+    """Equation 1 at the degenerate boundary: ``elapsed_cycles == 0``.
+
+    A same-cycle burst (two shards of a batch completing on one cycle)
+    legitimately reports zero elapsed time.  The old pipeline clamped the
+    value to 1 *before* the policy saw it, fabricating wall-clock; a
+    window whose every request was such a burst then divided busy cycles
+    by ~1 and wildly over-reported -- while a true zero would have raised
+    ``ZeroDivisionError``.  The guard now lives in the policy itself.
+    """
+
+    def test_all_zero_elapsed_window_is_saturated(self):
+        # Zero elapsed with real work means the ORAM never went idle:
+        # access_rate is 1, not an exception and not busy/1.
+        policy = AdaptiveThresholdPolicy(window_requests=3)
+        for _ in range(3):
+            policy.on_request(busy_cycles=1348, elapsed_cycles=0)
+        assert policy.access_rate == 1.0
+
+    def test_zero_elapsed_zero_busy_window_is_idle(self):
+        policy = AdaptiveThresholdPolicy(window_requests=2)
+        for _ in range(2):
+            policy.on_request(busy_cycles=0, elapsed_cycles=0)
+        assert policy.access_rate == 0.0
+
+    def test_same_cycle_burst_adds_no_elapsed(self):
+        # Mixed window: the bursts add busy evidence but no wall-clock,
+        # so the rate is measured over the real requests' elapsed time.
+        policy = AdaptiveThresholdPolicy(window_requests=4)
+        policy.on_request(busy_cycles=100, elapsed_cycles=400)
+        policy.on_request(busy_cycles=100, elapsed_cycles=0)
+        policy.on_request(busy_cycles=100, elapsed_cycles=0)
+        policy.on_request(busy_cycles=100, elapsed_cycles=400)
+        assert policy.access_rate == pytest.approx(400 / 800)
+
+    def test_negative_elapsed_clamped(self):
+        # A caller with a skewed clock cannot shrink the window total.
+        policy = AdaptiveThresholdPolicy(window_requests=2)
+        policy.on_request(busy_cycles=10, elapsed_cycles=-50)
+        policy.on_request(busy_cycles=10, elapsed_cycles=100)
+        assert policy.access_rate == pytest.approx(20 / 100)
+
+    def test_pipeline_feeds_raw_elapsed(self):
+        # Regression at the pipeline boundary: the clamp must NOT happen
+        # upstream.  Force the same-cycle-burst condition (previous
+        # request completed at/after this one's issue) and check that the
+        # policy's window gained busy cycles but zero fabricated elapsed.
+        from repro.analysis.experiments import experiment_config
+        from repro.sim.system import SecureSystem
+
+        system = SecureSystem.build("dyn", 256, experiment_config())
+        backend = system.backend
+        policy = backend.scheme.policy
+        assert isinstance(policy, AdaptiveThresholdPolicy)
+        first = backend.demand_access(0, now=0, is_write=False)
+        elapsed_first = policy._window.elapsed_cycles
+        assert elapsed_first == first.completion_cycle
+        backend._last_request_cycle = backend.busy_until + 10 ** 9
+        backend.demand_access(1, now=backend.busy_until, is_write=False)
+        assert policy._window.elapsed_cycles == elapsed_first
