@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast profile shards trace soak examples gallery audit clean
+.PHONY: install test bench bench-fast profile shards parallel trace soak examples gallery audit clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,6 +26,10 @@ profile:
 shards:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_shards.py
 	PYTHONPATH=src $(PYTHON) -m repro run -w locality:80 -s dyn --accesses 20000 --warmup 0 --shards 4
+
+parallel:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py
+	PYTHONPATH=src $(PYTHON) -m repro parallel -w locality:80 -s dyn --parallel-workers 4 --accesses 8000 --fsck
 
 trace:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trace_overhead.py

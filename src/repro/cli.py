@@ -390,6 +390,73 @@ def cmd_parity(args) -> int:
     return 0 if all(row[-1] == "clean" for row in rows) else 1
 
 
+def cmd_parallel(args) -> int:
+    """Race the process-parallel shard runtime against the serial bank."""
+    import dataclasses
+    import tempfile
+    import time
+
+    scheme = args.scheme
+    unsupported = (
+        scheme not in KNOWN_SCHEMES
+        or scheme.startswith("dram")
+        or scheme.endswith(("_pre", "_spre", "_mpre", "_intvl"))
+    )
+    if unsupported:
+        raise SystemExit(
+            f"scheme '{scheme}' cannot run on a sharded bank "
+            "(base ORAM schemes only; no prefetch/periodic suffixes)"
+        )
+    from repro.parallel import ParallelShardRuntime, run_serial_reference
+    from repro.parallel.merge import requests_from_trace
+
+    trace = build_trace(args.workload, args.accesses, seed=args.seed)
+    requests = requests_from_trace(trace)
+    config = experiment_config()
+    workers = args.parallel_workers
+    print(
+        f"{trace.name}: {len(requests)} demand requests over "
+        f"{trace.footprint_blocks} blocks, {workers}-worker parallel bank"
+    )
+    begin = time.perf_counter()
+    serial = run_serial_reference(
+        scheme,
+        trace.footprint_blocks,
+        requests,
+        config,
+        num_shards=workers,
+        workload=trace.name,
+    )
+    serial_s = time.perf_counter() - begin
+    with tempfile.TemporaryDirectory(prefix="repro-parallel-") as checkpoint_dir:
+        with ParallelShardRuntime(
+            scheme,
+            trace.footprint_blocks,
+            config,
+            workers,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            batch_size=args.batch,
+        ) as runtime:
+            begin = time.perf_counter()
+            parallel = runtime.run(requests, workload=trace.name, fsck=args.fsck)
+            parallel_s = time.perf_counter() - begin
+            restarts = runtime.total_restarts()
+    identical = dataclasses.asdict(serial) == dataclasses.asdict(parallel)
+    rows = [
+        ["serial", f"{serial_s:.2f}", serial.cycles, serial.demand_requests],
+        ["parallel", f"{parallel_s:.2f}", parallel.cycles, parallel.demand_requests],
+    ]
+    print(format_table(["mode", "wall_s", "sim_cycles", "demand"], rows))
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(
+        f"\nwall-clock speedup: {speedup:.2f}x   merged result: "
+        + ("bit-identical to serial" if identical else "MISMATCH")
+        + (f"   worker restarts: {restarts}" if restarts else "")
+    )
+    return 0 if identical else 1
+
+
 # --------------------------------------------------------------------- main
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -494,6 +561,41 @@ def make_parser() -> argparse.ArgumentParser:
     common(audit_p)
     audit_p.add_argument("-s", "--scheme", default="dyn")
     audit_p.set_defaults(func=cmd_audit)
+
+    parallel_p = sub.add_parser(
+        "parallel",
+        help="race the process-parallel shard runtime against the serial bank",
+    )
+    common(parallel_p, workload_required=False)
+    parallel_p.set_defaults(accesses=8_000)
+    parallel_p.add_argument("-s", "--scheme", default="dyn")
+    parallel_p.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="shard/worker-process count (one ORAM channel per process)",
+    )
+    parallel_p.add_argument(
+        "--batch",
+        type=int,
+        default=64,
+        metavar="REQUESTS",
+        help="requests per shipped batch",
+    )
+    parallel_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="BATCHES",
+        help="worker checkpoint cadence (1 = after every batch)",
+    )
+    parallel_p.add_argument(
+        "--fsck",
+        action="store_true",
+        help="audit every shard's ORAM invariants in-worker after the run",
+    )
+    parallel_p.set_defaults(func=cmd_parallel)
 
     parity_p = sub.add_parser(
         "parity", help="run one seeded trace through every ORAMScheme"

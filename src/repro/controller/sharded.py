@@ -42,6 +42,33 @@ from repro.memory.backend import BackendStats, DemandResult, MemoryBackend
 from repro.memory.oram_backend import ORAMBackend
 
 
+def snapshot_shard_stats(shard: ORAMBackend) -> dict:
+    """Sample every merge-relevant counter of one bank channel.
+
+    The returned dict is plain ints (picklable, JSON-able): the
+    process-parallel runtime ships it over a queue from each worker, and
+    the serial reference path samples the same function in-process, so the
+    merged :class:`~repro.sim.results.SimResult` is built from identical
+    material either way -- bit-identity of the aggregate is structural,
+    not coincidental.
+    """
+    from repro.oram.checkpoint import _BACKEND_STAT_FIELDS, _SCHEME_STAT_FIELDS
+
+    hierarchy = shard.posmap_hierarchy
+    return {
+        "stats": {name: getattr(shard.stats, name) for name in _BACKEND_STAT_FIELDS},
+        "scheme_stats": {
+            name: getattr(shard.scheme.stats, name) for name in _SCHEME_STAT_FIELDS
+        },
+        "stash_max_occupancy": shard.oram.stash.max_occupancy,
+        "stash_soft_overflows": shard.oram.stash_soft_overflows,
+        "posmap_lookups": hierarchy.lookups,
+        "posmap_cache_hits": hierarchy.cache_hits,
+        "phase_cycles": shard.pipeline.breakdown(),
+        "busy_until": shard.busy_until,
+    }
+
+
 class ShardedORAMBank(MemoryBackend):
     """N address-interleaved ORAM controllers behind one backend interface.
 
@@ -226,6 +253,10 @@ class ShardedORAMBank(MemoryBackend):
             for name, cycles in shard.pipeline.breakdown().items():
                 total[name] = total.get(name, 0) + cycles
         return total
+
+    def snapshot_shards(self) -> List[dict]:
+        """Per-channel counter snapshots (:func:`snapshot_shard_stats`)."""
+        return [snapshot_shard_stats(shard) for shard in self.shards]
 
     def check_invariants(self) -> None:
         """Audit every channel's ORAM (tests / fsck)."""

@@ -18,7 +18,13 @@ The subsystem has four parts (see DESIGN.md section 8):
   chi-squared monitor built on :mod:`repro.security.statistics`.
 """
 
-from .collect import collect_recovery, collect_system, collect_trace, system_counters
+from .collect import (
+    collect_parallel,
+    collect_recovery,
+    collect_system,
+    collect_trace,
+    system_counters,
+)
 from .metrics import Counter, CycleHistogram, Gauge, MetricsRegistry
 from .recorder import (
     InMemoryRecorder,
@@ -45,6 +51,7 @@ __all__ = [
     "TraceRecorder",
     "UniformityCheck",
     "attach_recorder",
+    "collect_parallel",
     "collect_recovery",
     "collect_system",
     "collect_trace",

@@ -83,6 +83,30 @@ def collect_system(system, registry: Optional[MetricsRegistry] = None) -> Metric
     return registry
 
 
+def collect_parallel(runtime, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Merge a ``ParallelShardRuntime``'s worker telemetry into *registry*.
+
+    The runtime populates ``parallel.worker<i>.queue_depth`` gauges,
+    ``.batches`` / ``.restarts`` counters, and a ``.batch_roundtrip_us``
+    latency histogram in its own registry as it pumps batches; this copies
+    the current values across (create-or-get, so repeated collection is
+    idempotent for gauges and overwrites counters with the live totals).
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    for instrument in runtime.registry:
+        if isinstance(instrument, CycleHistogram):
+            target = registry.histogram(instrument.name)
+            target.counts = list(instrument.counts)
+            target.total = instrument.total
+            target.sum = instrument.sum
+        elif instrument.kind == "gauge":
+            registry.gauge(instrument.name).set(instrument.value)
+        else:
+            registry.counter(instrument.name).set(instrument.value)
+    registry.gauge("parallel.num_workers").set(runtime.num_workers)
+    return registry
+
+
 def collect_recovery(recovery, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
     """Register a :class:`~repro.faults.resilient.RecoveryStats` snapshot
     under ``recovery.*`` names."""

@@ -60,8 +60,8 @@ def _decode_block(raw: dict, where: str) -> Block:
         raise CheckpointError(f"malformed block record in {where}: {exc!r}") from exc
 
 
-def dump_oram(oram: PathORAM) -> str:
-    """Serialize a Path ORAM to a JSON string."""
+def _oram_state_dict(oram: PathORAM) -> dict:
+    """The checkpoint document of one Path ORAM, as a plain dict."""
     if oram._pending_writeback is not None:
         raise RuntimeError("cannot checkpoint mid-access")
     config = oram.config
@@ -96,7 +96,12 @@ def dump_oram(oram: PathORAM) -> str:
             "stash_soft_overflows": oram.stash_soft_overflows,
         },
     }
-    return json.dumps(state)
+    return state
+
+
+def dump_oram(oram: PathORAM) -> str:
+    """Serialize a Path ORAM to a JSON string."""
+    return json.dumps(_oram_state_dict(oram))
 
 
 _REQUIRED_KEYS = (
@@ -135,10 +140,23 @@ def load_oram(
         CheckpointError: the document is malformed, from an unsupported
             version, or inconsistent with its own geometry.
     """
-    try:
-        state = json.loads(payload)
-    except json.JSONDecodeError as exc:
-        raise CheckpointError(f"malformed checkpoint document: {exc}") from exc
+    state = _parse_oram_state(payload)
+    config = _checkpoint_config(state)
+    factory = oram_factory or PathORAM
+    oram = factory(config, rng or DeterministicRng(0xC8C8), observer=observer, populate=False)
+    _install_oram_state(oram, state)
+    return oram
+
+
+def _parse_oram_state(payload: str) -> dict:
+    """Parse + shape-validate a checkpoint document (JSON string or dict)."""
+    if isinstance(payload, dict):
+        state = payload
+    else:
+        try:
+            state = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"malformed checkpoint document: {exc}") from exc
     if not isinstance(state, dict):
         raise CheckpointError(
             f"malformed checkpoint document: expected an object, "
@@ -152,12 +170,27 @@ def load_oram(
     missing = [key for key in _REQUIRED_KEYS if key not in state]
     if missing:
         raise CheckpointError(f"checkpoint document missing keys: {missing}")
+    return state
+
+
+def _checkpoint_config(state: dict) -> ORAMConfig:
     try:
-        config = ORAMConfig(**state["config"])
+        return ORAMConfig(**state["config"])
     except (TypeError, ValueError) as exc:
         raise CheckpointError(f"invalid checkpoint geometry: {exc}") from exc
-    factory = oram_factory or PathORAM
-    oram = factory(config, rng or DeterministicRng(0xC8C8), observer=observer, populate=False)
+
+
+def _install_oram_state(oram: PathORAM, state: dict) -> None:
+    """Overwrite an ORAM instance's state with a validated checkpoint.
+
+    Works both on a freshly constructed, unpopulated instance (the
+    :func:`load_oram` path) and in place on a live, populated one (the
+    worker-recovery path): the position map, every bucket, the stash, and
+    the counters are replaced wholesale, and derived structures are rebuilt
+    via :meth:`PathORAM.rebuild_auxiliary`.  The position map's backing
+    arrays are written in place -- components holding direct references to
+    them (e.g. the super block scheme's prefetch-bit handle) stay valid.
+    """
     oram._populated = True  # state arrives fully formed
     posmap = oram.position_map
     n = posmap.num_blocks
@@ -184,11 +217,12 @@ def load_oram(
         oram.tree._buckets[index] = [
             _decode_block(raw, f"bucket {index}") for raw in raw_bucket
         ]
-    if len(state["stash"]) > config.stash_blocks:
+    if len(state["stash"]) > oram.config.stash_blocks:
         raise CheckpointError(
             f"checkpoint stash holds {len(state['stash'])} blocks, "
-            f"configured stash capacity is {config.stash_blocks}"
+            f"configured stash capacity is {oram.config.stash_blocks}"
         )
+    oram.stash._blocks.clear()
     for raw in state["stash"]:
         oram.stash.add(_decode_block(raw, "stash"))
     counters = state["counters"]
@@ -203,7 +237,6 @@ def load_oram(
         oram.check_invariants()
     except AssertionError as exc:
         raise CheckpointError(f"checkpoint violates ORAM invariants: {exc}") from exc
-    return oram
 
 
 def _atomic_write(path: str, payload: str) -> None:
@@ -247,3 +280,143 @@ def restore_oram(
         return load_oram(
             handle.read(), rng=rng, observer=observer, oram_factory=oram_factory
         )
+
+
+# --------------------------------------------------------------------------
+# Backend-level checkpoints (the parallel shard runtime's recovery unit)
+# --------------------------------------------------------------------------
+#
+# A :class:`~repro.memory.oram_backend.ORAMBackend` is more than its ORAM:
+# the merged SimResult also draws on the backend's counters, the scheme's
+# statistics, the PosMap hierarchy's cache accounting, the pipeline's
+# per-phase attribution, and ``busy_until``.  A shard worker checkpoints
+# all of it so a respawned worker resumes accounting exactly where the
+# dead one stopped.  What is deliberately *not* captured (and therefore
+# resets on recovery, exactly like a rebooted device): RNG state, the
+# adaptive threshold policy's training state, and the prefetch tracker's
+# block-side hit bits -- none of them affect correctness, only warm-up.
+
+BACKEND_FORMAT_VERSION = 1
+
+#: BackendStats fields round-tripped through a backend checkpoint.
+_BACKEND_STAT_FIELDS = (
+    "demand_requests",
+    "prefetch_requests",
+    "write_accesses",
+    "memory_accesses",
+    "dummy_accesses",
+    "posmap_accesses",
+    "busy_cycles",
+    "transient_faults",
+    "fault_retries",
+    "fault_delay_cycles",
+    "forced_evictions",
+)
+
+_SCHEME_STAT_FIELDS = (
+    "merges",
+    "breaks",
+    "prefetched_blocks",
+    "prefetch_hits",
+    "prefetch_misses",
+)
+
+
+def dump_backend_state(backend, runtime_state: Optional[dict] = None) -> str:
+    """Serialize an ORAM backend (ORAM + every counter) to a JSON string.
+
+    Args:
+        backend: the :class:`~repro.memory.oram_backend.ORAMBackend`.
+        runtime_state: opaque JSON-serializable extras stored alongside
+            (the shard worker keeps its last-applied sequence number and a
+            replay window of recent batch replies here).
+    """
+    hierarchy = backend.posmap_hierarchy
+    state = {
+        "version": BACKEND_FORMAT_VERSION,
+        "kind": "oram-backend",
+        "oram": _oram_state_dict(backend.oram),
+        "backend": {
+            "busy_until": backend.busy_until,
+            "stats": {
+                name: getattr(backend.stats, name)
+                for name in _BACKEND_STAT_FIELDS
+            },
+            "scheme_stats": {
+                name: getattr(backend.scheme.stats, name)
+                for name in _SCHEME_STAT_FIELDS
+            },
+            "posmap_hierarchy": {
+                "lookups": hierarchy.lookups,
+                "posmap_block_accesses": hierarchy.posmap_block_accesses,
+                "cache_hits": hierarchy.cache_hits,
+            },
+            "stash_max_occupancy": backend.oram.stash.max_occupancy,
+            "phase_cycles": backend.pipeline.breakdown(),
+            "pipeline_requests": backend.pipeline.requests,
+        },
+        "runtime": runtime_state or {},
+    }
+    return json.dumps(state)
+
+
+def restore_backend_state(backend, payload: str) -> dict:
+    """Install a :func:`dump_backend_state` document into a live backend.
+
+    The backend must have been built from the same configuration that
+    produced the checkpoint (same geometry, same scheme kind); the caller
+    -- the shard worker respawn path -- rebuilds it from the shard spec
+    first.  Returns the opaque ``runtime`` dict stored at capture time.
+
+    Raises:
+        CheckpointError: the document is malformed or inconsistent.
+    """
+    try:
+        state = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"malformed backend checkpoint: {exc}") from exc
+    if not isinstance(state, dict) or state.get("kind") != "oram-backend":
+        raise CheckpointError("not a backend checkpoint document")
+    if state.get("version") != BACKEND_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported backend checkpoint version {state.get('version')!r} "
+            f"(this build reads version {BACKEND_FORMAT_VERSION})"
+        )
+    for key in ("oram", "backend"):
+        if key not in state:
+            raise CheckpointError(f"backend checkpoint missing key: {key!r}")
+    _install_oram_state(backend.oram, _parse_oram_state(state["oram"]))
+    saved = state["backend"]
+    try:
+        backend.busy_until = saved["busy_until"]
+        for name in _BACKEND_STAT_FIELDS:
+            setattr(backend.stats, name, saved["stats"][name])
+        for name in _SCHEME_STAT_FIELDS:
+            setattr(backend.scheme.stats, name, saved["scheme_stats"][name])
+        hierarchy = backend.posmap_hierarchy
+        hierarchy.lookups = saved["posmap_hierarchy"]["lookups"]
+        hierarchy.posmap_block_accesses = saved["posmap_hierarchy"][
+            "posmap_block_accesses"
+        ]
+        hierarchy.cache_hits = saved["posmap_hierarchy"]["cache_hits"]
+        backend.oram.stash.max_occupancy = saved["stash_max_occupancy"]
+        for name, cycles in saved["phase_cycles"].items():
+            backend.pipeline.phase_cycles[name] = cycles
+        backend.pipeline.requests = saved["pipeline_requests"]
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed backend checkpoint: {exc!r}") from exc
+    runtime = state.get("runtime", {})
+    if not isinstance(runtime, dict):
+        raise CheckpointError("backend checkpoint runtime section must be a dict")
+    return runtime
+
+
+def save_backend(backend, path: str, runtime_state: Optional[dict] = None) -> None:
+    """Write a backend checkpoint crash-safely (temp file + atomic rename)."""
+    _atomic_write(path, dump_backend_state(backend, runtime_state))
+
+
+def restore_backend(backend, path: str) -> dict:
+    """Read a backend checkpoint file into a live backend."""
+    with open(path) as handle:
+        return restore_backend_state(backend, handle.read())

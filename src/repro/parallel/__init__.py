@@ -1,0 +1,22 @@
+"""Process-parallel execution of sharded ORAM banks.
+
+The serial simulator already interleaves a
+:class:`~repro.controller.sharded.ShardedORAMBank`'s channels in one
+process; this package runs each channel in its own worker process and
+proves (by bit-identical merged results) that the cut changes nothing but
+wall-clock time.  See :mod:`repro.parallel.runtime` for the execution and
+failure model, :mod:`repro.parallel.protocol` for what crosses the
+process boundary, and ``DESIGN.md`` section 9 for the full ladder.
+"""
+
+from repro.parallel.merge import merge_shard_snapshots, run_serial_reference
+from repro.parallel.protocol import ShardSpec
+from repro.parallel.runtime import ParallelShardRuntime, WorkerFailure
+
+__all__ = [
+    "ParallelShardRuntime",
+    "ShardSpec",
+    "WorkerFailure",
+    "merge_shard_snapshots",
+    "run_serial_reference",
+]

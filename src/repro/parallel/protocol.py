@@ -1,0 +1,80 @@
+"""Wire protocol between the parallel front-end and its shard workers.
+
+Everything that crosses a process boundary is defined here: the
+:class:`ShardSpec` a worker is spawned with, and the shapes of the
+command/reply tuples exchanged over the two ``multiprocessing`` queues.
+Tuples (not classes) cross the queues so a reply is cheap to pickle and
+the protocol is trivially versionable by shape.
+
+Commands (front-end -> worker)::
+
+    ("batch", seq, [(local_addr, now, is_write), ...])
+    ("drain", seq, now)      # barrier: finalize the backend at `now`
+    ("stats", seq)           # sample a counter snapshot
+    ("fsck", seq)            # audit the shard's ORAM invariants
+    ("checkpoint", seq)      # force a checkpoint outside the cadence
+    ("shutdown",)
+
+Replies (worker -> front-end)::
+
+    ("ready", last_seq, [[seq, completions], ...])   # after (re)spawn
+    ("batch_done", seq, [completion, ...], checkpointed_seq)
+    ("drained", seq)
+    ("stats", seq, snapshot_dict)
+    ("fsck_done", seq, ok, summary)
+    ("checkpoint_done", seq, checkpointed_seq)
+    ("error", seq_or_None, traceback_text)
+
+Sequence numbers are per-worker and strictly increasing; a worker that
+receives a batch it already applied (a replay after the reply was lost in
+a crash) answers from its stored reply window instead of re-executing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker process needs to rebuild its shard from scratch.
+
+    The spec is pure data (picklable) and the backend construction it
+    drives -- :func:`repro.sim.system.build_shard_backend` -- derives the
+    shard RNG from ``(config.seed, shard_index)`` alone, so a worker
+    reconstructs a shard bit-identical to the one the serial
+    :class:`~repro.controller.sharded.ShardedORAMBank` would build.
+
+    Attributes:
+        base_scheme: scheme name with suffixes already stripped
+            ("oram", "stat", "dyn", ...).
+        footprint_blocks: the *global* workload footprint.
+        num_shards: bank width; this worker owns global addresses
+            congruent to ``shard_index`` mod ``num_shards``.
+        checkpoint_path: where this worker persists its backend state
+            (``None`` disables checkpointing -- a death is then fatal).
+        checkpoint_every: batches between periodic checkpoints; ``0``
+            keeps only the genesis checkpoint, so recovery replays the
+            whole history (bounded memory requires ``>= 1``).
+        replay_window: how many recent batch replies the worker stores
+            inside its checkpoint; must cover the front-end's maximum
+            in-flight batches or a reply lost in a crash is unrecoverable.
+        rng_restart_salt: 0 on first boot; a respawn passes the restart
+            attempt number so the recovered shard draws a fresh (still
+            deterministic) leaf stream instead of replaying the original
+            one from the start.
+    """
+
+    base_scheme: str
+    footprint_blocks: int
+    num_shards: int
+    shard_index: int
+    config: SystemConfig
+    static_sbsize: Optional[int] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 1
+    replay_window: int = 8
+    rng_restart_salt: int = 0

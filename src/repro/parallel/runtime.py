@@ -1,0 +1,499 @@
+"""The process-parallel shard runtime: N workers, one merged result.
+
+:class:`ParallelShardRuntime` is the front-end.  It partitions an
+address-tagged request stream across the bank's channels
+(``shard = addr % N``, arrival order preserved within a shard -- the same
+partition :meth:`ShardedORAMBank.access_batch` uses), ships each shard's
+sub-stream as sequence-numbered batches to a worker process, and merges
+the per-shard completions and counter snapshots back into the exact
+:class:`~repro.sim.results.SimResult` the in-process serial bank produces.
+Shards share nothing by construction (own tree, stash, RNG fork), so the
+cross-process cut is free of coherence traffic and the merged result is
+bit-identical to serial for any worker count.
+
+Failure model: workers checkpoint their whole backend after every
+``checkpoint_every`` batches *before* acknowledging (see
+:mod:`repro.parallel.worker`).  The front-end detects a dead worker
+(liveness poll while waiting on its reply queue), respawns it from the
+latest checkpoint, re-serves acknowledgements the crash swallowed out of
+the checkpoint's reply window, and replays only the batches the
+checkpoint had not yet captured.  Every demand access is therefore
+applied and counted exactly once -- "zero lost writes" in a timing
+simulator means the merged accounting is indistinguishable from a run
+that never crashed (completions of replayed batches may differ, since a
+recovered shard draws a fresh deterministic RNG stream).
+
+Observability: per-worker queue-depth gauges, batch round-trip latency
+histograms, and restart counters land in a
+:class:`~repro.observability.metrics.MetricsRegistry` under
+``parallel.worker<i>.*``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig
+from repro.observability.metrics import MetricsRegistry
+from repro.parallel.merge import merge_shard_snapshots
+from repro.parallel.protocol import ShardSpec
+from repro.parallel.worker import shard_worker_main
+from repro.sim.results import SimResult
+
+#: liveness-poll interval while waiting on a reply queue (seconds)
+_POLL_S = 0.02
+
+
+class WorkerFailure(RuntimeError):
+    """A shard worker failed beyond what the recovery ladder can heal."""
+
+
+class _Worker:
+    """Front-end bookkeeping for one shard worker process."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.commands = None
+        self.replies = None
+        self.next_seq = 0
+        #: sent, not yet acknowledged: seq -> (positions, batch)
+        self.pending: Dict[int, Tuple[List[int], list]] = {}
+        #: acknowledged but not yet covered by a checkpoint (replay fodder)
+        self.unckpt: Dict[int, Tuple[List[int], list]] = {}
+        self.sent_at: Dict[int, float] = {}
+        self.restarts = 0
+
+    @property
+    def inflight(self) -> int:
+        return len(self.pending)
+
+
+def _drain_nowait(replies):
+    """``get_nowait`` that treats a crash-corrupted queue as empty.
+
+    A worker killed mid-``put`` can leave a truncated pickle in the pipe;
+    reading it raises instead of returning.  The abandoned queue is
+    replaced on respawn, so any unreadable tail is equivalent to no reply.
+    """
+    try:
+        return replies.get_nowait()
+    except queue_module.Empty:
+        return None
+    except Exception:
+        return None
+
+
+class ParallelShardRuntime:
+    """Run each channel of a sharded ORAM bank in its own process.
+
+    Args:
+        scheme: base scheme name ("oram", "stat", "dyn", ... -- no
+            prefetch/periodic suffixes; prefetchers live core-side and the
+            runtime replays a pre-captured miss stream).
+        footprint_blocks: global workload footprint (shards are scaled to
+            their slice exactly as :meth:`SecureSystem.build` does).
+        num_workers: bank width; one worker process per shard.
+        checkpoint_dir: directory for per-worker checkpoints (stale files
+            from a previous runtime are removed at startup -- the runtime
+            owns the directory).  ``None`` disables durability: a worker
+            death becomes fatal.
+        checkpoint_every: batches between worker checkpoints (1 = durable
+            after every batch; 0 = genesis checkpoint only, recovery then
+            replays the full history).
+        batch_size: requests per shipped batch.
+        max_inflight: per-worker cap on unacknowledged batches; bounded by
+            the worker's reply replay window (sized to ``2 * max_inflight``)
+            so a lost acknowledgement is always recoverable.
+        max_restarts: per-worker respawn budget before giving up.
+        metrics: optional shared registry for the per-worker gauges.
+    """
+
+    def __init__(
+        self,
+        scheme: str,
+        footprint_blocks: int,
+        config: Optional[SystemConfig] = None,
+        num_workers: int = 2,
+        *,
+        static_sbsize: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        batch_size: int = 64,
+        max_inflight: int = 4,
+        max_restarts: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        if scheme == "dram":
+            raise ValueError("sharded banks model ORAM channels, not DRAM")
+        if batch_size < 1 or max_inflight < 1:
+            raise ValueError("batch_size and max_inflight must be positive")
+        self.scheme = scheme
+        self.footprint_blocks = footprint_blocks
+        self.config = config or SystemConfig()
+        self.num_workers = num_workers
+        self.static_sbsize = static_sbsize
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.batch_size = batch_size
+        self.max_inflight = max_inflight
+        self.max_restarts = max_restarts
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+        self._ctx = multiprocessing.get_context()
+        self._workers = [_Worker(index) for index in range(num_workers)]
+        if checkpoint_dir:
+            os.makedirs(checkpoint_dir, exist_ok=True)
+            for worker in self._workers:
+                path = self._checkpoint_path(worker.index)
+                if os.path.exists(path):
+                    os.remove(path)
+        for worker in self._workers:
+            self._spawn(worker)
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle
+    def _checkpoint_path(self, index: int) -> str:
+        return os.path.join(self.checkpoint_dir, f"shard{index:02d}.ckpt")
+
+    def _spec(self, index: int, restart_salt: int) -> ShardSpec:
+        return ShardSpec(
+            base_scheme=self.scheme,
+            footprint_blocks=self.footprint_blocks,
+            num_shards=self.num_workers,
+            shard_index=index,
+            config=self.config,
+            static_sbsize=self.static_sbsize,
+            checkpoint_path=(
+                self._checkpoint_path(index) if self.checkpoint_dir else None
+            ),
+            checkpoint_every=self.checkpoint_every,
+            replay_window=max(2 * self.max_inflight, 8),
+            rng_restart_salt=restart_salt,
+        )
+
+    def _spawn(self, worker: _Worker) -> Tuple[int, list]:
+        """Start (or restart) a worker; returns its ready announcement."""
+        worker.commands = self._ctx.Queue()
+        worker.replies = self._ctx.Queue()
+        spec = self._spec(worker.index, worker.restarts)
+        worker.process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(spec, worker.commands, worker.replies),
+            daemon=True,
+            name=f"repro-shard-{worker.index}",
+        )
+        worker.process.start()
+        reply = self._await_reply(worker)
+        if reply[0] == "error":
+            raise WorkerFailure(f"worker {worker.index} failed to start: {reply[2]}")
+        if reply[0] != "ready":
+            raise WorkerFailure(
+                f"worker {worker.index} sent {reply[0]!r} before ready"
+            )
+        return reply[1], reply[2]
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        for worker in self._workers:
+            process = worker.process
+            if process is None or not process.is_alive():
+                continue
+            try:
+                worker.commands.put(("shutdown",))
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers:
+            process = worker.process
+            if process is None:
+                continue
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+
+    def __enter__(self) -> "ParallelShardRuntime":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- pumping
+    def _await_reply(self, worker: _Worker):
+        """Block until *worker* replies; raise :class:`WorkerFailure` if it
+        dies first (the caller owns recovery, since only it knows which
+        commands the dead incarnation's queue took with it)."""
+        while True:
+            try:
+                return worker.replies.get(timeout=_POLL_S)
+            except queue_module.Empty:
+                if worker.process.is_alive():
+                    continue
+                # One last drain: the worker may have replied, then died.
+                reply = _drain_nowait(worker.replies)
+                if reply is not None:
+                    return reply
+                raise WorkerFailure(
+                    f"worker {worker.index} died "
+                    f"(exitcode {worker.process.exitcode})"
+                )
+
+    def _send_batch(
+        self, worker: _Worker, positions: List[int], batch: list
+    ) -> None:
+        seq = worker.next_seq
+        worker.next_seq += 1
+        worker.pending[seq] = (positions, batch)
+        worker.sent_at[seq] = time.perf_counter()
+        worker.commands.put(("batch", seq, batch))
+        self.registry.gauge(f"parallel.worker{worker.index}.queue_depth").set(
+            worker.inflight
+        )
+
+    def _record_ack(
+        self,
+        worker: _Worker,
+        seq: int,
+        completions: Sequence[int],
+        checkpointed_seq: int,
+        results: List[Optional[int]],
+    ) -> bool:
+        """Apply one ``batch_done``; True if it recorded new completions.
+
+        A re-acknowledgement of a batch that was already recorded before a
+        crash (replayed purely to reconstruct worker state) keeps the
+        original completions and returns False.
+        """
+        newly_recorded = False
+        entry = worker.pending.pop(seq, None)
+        if entry is not None:
+            positions, _batch = entry
+            if results[positions[0]] is None:
+                for position, cycle in zip(positions, completions):
+                    results[position] = cycle
+                newly_recorded = True
+            if seq > checkpointed_seq:
+                worker.unckpt[seq] = entry
+            sent = worker.sent_at.pop(seq, None)
+            if sent is not None:
+                self.registry.histogram(
+                    f"parallel.worker{worker.index}.batch_roundtrip_us"
+                ).record(int((time.perf_counter() - sent) * 1e6))
+            self.registry.counter(f"parallel.worker{worker.index}.batches").inc()
+        for covered in [s for s in worker.unckpt if s <= checkpointed_seq]:
+            del worker.unckpt[covered]
+        self.registry.gauge(f"parallel.worker{worker.index}.queue_depth").set(
+            worker.inflight
+        )
+        return newly_recorded
+
+    # -------------------------------------------------------------- recovery
+    def _recover(self, worker: _Worker) -> None:
+        """Respawn a dead worker from its checkpoint and replay the gap."""
+        if not self.checkpoint_dir:
+            raise WorkerFailure(
+                f"worker {worker.index} died (exitcode "
+                f"{worker.process.exitcode}) and checkpointing is disabled"
+            )
+        if worker.restarts >= self.max_restarts:
+            raise WorkerFailure(
+                f"worker {worker.index} exceeded its restart budget "
+                f"({self.max_restarts})"
+            )
+        worker.process.join(timeout=5)
+        worker.restarts += 1
+        self.registry.counter(f"parallel.worker{worker.index}.restarts").inc()
+        # Fresh queues (via _spawn): the old ones may hold a torn pickle.
+        restored_seq, window = self._spawn(worker)
+        stored = {seq for seq, _completions in window}
+        # Everything un-acknowledged or un-checkpointed goes back through
+        # the worker.  Batches the restored checkpoint already covers are
+        # answered from its reply window without re-execution; the rest
+        # re-run from the checkpointed state.
+        replay = dict(worker.unckpt)
+        replay.update(worker.pending)
+        worker.unckpt = {}
+        worker.pending = {}
+        worker.sent_at = {}
+        for seq in sorted(replay):
+            positions, batch = replay[seq]
+            if seq <= restored_seq and seq not in stored:
+                raise WorkerFailure(
+                    f"worker {worker.index}: batch {seq} is inside the "
+                    f"restored checkpoint but outside its reply window"
+                )
+            worker.pending[seq] = (positions, batch)
+            worker.sent_at[seq] = time.perf_counter()
+            worker.commands.put(("batch", seq, batch))
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        requests: Sequence[Tuple[int, int, bool]],
+        *,
+        workload: str = "parallel",
+        fsck: bool = False,
+    ) -> SimResult:
+        """Replay an ``(addr, now, is_write)`` stream; merge the results.
+
+        Returns a :class:`SimResult` bit-identical to
+        :func:`repro.parallel.merge.run_serial_reference` over the same
+        stream, scheme, and shard count (restart telemetry stays in the
+        metrics registry, deliberately outside the result).
+        """
+        if self._closed:
+            raise WorkerFailure("runtime is closed")
+        requests = list(requests)
+        num_workers = self.num_workers
+        # Partition by channel, preserving arrival order within a shard --
+        # the same split the serial bank's access_batch performs.
+        per_worker: List[List[Tuple[int, Tuple[int, int, bool]]]] = [
+            [] for _ in range(num_workers)
+        ]
+        for position, (addr, now, is_write) in enumerate(requests):
+            per_worker[addr % num_workers].append(
+                (position, (addr // num_workers, now, is_write))
+            )
+        batches: List[List[Tuple[List[int], list]]] = []
+        for assigned in per_worker:
+            chunks = []
+            for start in range(0, len(assigned), self.batch_size):
+                chunk = assigned[start : start + self.batch_size]
+                chunks.append(
+                    ([position for position, _ in chunk], [r for _, r in chunk])
+                )
+            batches.append(chunks)
+        results: List[Optional[int]] = [None] * len(requests)
+        cursors = [0] * num_workers
+        unrecorded = sum(len(chunks) for chunks in batches)
+        while unrecorded:
+            progressed = False
+            for worker in self._workers:
+                chunks = batches[worker.index]
+                while (
+                    cursors[worker.index] < len(chunks)
+                    and worker.inflight < self.max_inflight
+                ):
+                    positions, batch = chunks[cursors[worker.index]]
+                    cursors[worker.index] += 1
+                    self._send_batch(worker, positions, batch)
+                    progressed = True
+            for worker in self._workers:
+                if not worker.pending:
+                    continue
+                try:
+                    reply = worker.replies.get_nowait()
+                except queue_module.Empty:
+                    if worker.process.is_alive():
+                        continue
+                    reply = _drain_nowait(worker.replies)
+                    if reply is None:
+                        self._recover(worker)
+                        progressed = True
+                        continue
+                if reply[0] == "error":
+                    raise WorkerFailure(
+                        f"worker {worker.index} failed: {reply[2]}"
+                    )
+                if reply[0] != "batch_done":
+                    raise WorkerFailure(
+                        f"worker {worker.index} sent unexpected "
+                        f"{reply[0]!r} during a run"
+                    )
+                _op, seq, completions, checkpointed_seq = reply
+                if self._record_ack(
+                    worker, seq, completions, checkpointed_seq, results
+                ):
+                    unrecorded -= 1
+                progressed = True
+            if not progressed:
+                time.sleep(0.001)
+        # Barrier: drain every worker at the globally last completion so
+        # finalize semantics match the serial reference, then snapshot.
+        horizon = max((c for c in results if c is not None), default=0)
+        snapshots = self._barrier(horizon, fsck, results)
+        completions_final = [c for c in results if c is not None]
+        if len(completions_final) != len(requests):
+            raise WorkerFailure("lost completions: merge would under-count")
+        return merge_shard_snapshots(
+            snapshots,
+            completions_final,
+            workload=workload,
+            scheme=self.scheme,
+        )
+
+    def _barrier(
+        self, horizon: int, fsck: bool, results: List[Optional[int]]
+    ) -> List[dict]:
+        """Drain + (optionally) fsck + snapshot every worker."""
+        snapshots: List[Optional[dict]] = [None] * self.num_workers
+        fsck_failures: List[str] = []
+        for worker in self._workers:
+            self._send_barrier_commands(worker, horizon, fsck)
+        for worker in self._workers:
+            while snapshots[worker.index] is None:
+                try:
+                    reply = self._await_reply(worker)
+                except WorkerFailure:
+                    # Death at the barrier: heal (replaying any batches the
+                    # last checkpoint missed), then re-issue the barrier
+                    # commands the old command queue took with it.
+                    self._recover(worker)
+                    self._send_barrier_commands(worker, horizon, fsck)
+                    continue
+                if reply[0] == "error":
+                    raise WorkerFailure(
+                        f"worker {worker.index} failed: {reply[2]}"
+                    )
+                if reply[0] == "batch_done":
+                    # Ack of a recovery replay: route through the normal
+                    # bookkeeping (already-recorded completions are kept).
+                    _op, seq, completions, checkpointed_seq = reply
+                    self._record_ack(
+                        worker, seq, completions, checkpointed_seq, results
+                    )
+                elif reply[0] == "stats":
+                    snapshots[worker.index] = reply[2]
+                elif reply[0] == "fsck_done" and not reply[2]:
+                    fsck_failures.append(reply[3])
+        if fsck and fsck_failures:
+            raise WorkerFailure("parallel fsck failed: " + "; ".join(fsck_failures))
+        return snapshots  # type: ignore[return-value]
+
+    def _send_barrier_commands(
+        self, worker: _Worker, horizon: int, fsck: bool
+    ) -> None:
+        worker.commands.put(("drain", worker.next_seq, horizon))
+        worker.next_seq += 1
+        if fsck:
+            worker.commands.put(("fsck", worker.next_seq))
+            worker.next_seq += 1
+        worker.commands.put(("stats", worker.next_seq))
+        worker.next_seq += 1
+
+    # ------------------------------------------------------------ inspection
+    def metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+        """Return (or merge into) the registry holding the worker gauges."""
+        if registry is None:
+            return self.registry
+        from repro.observability.collect import collect_parallel
+
+        return collect_parallel(self, registry)
+
+    def total_restarts(self) -> int:
+        return sum(worker.restarts for worker in self._workers)
+
+    def kill_worker(self, index: int) -> None:
+        """Hard-kill one worker process (fault-injection hook for tests)."""
+        process = self._workers[index].process
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=5)

@@ -34,10 +34,17 @@ class MarkovPrefetcher:
     table_entries: int = 256
     _table: "OrderedDict[int, List[int]]" = field(default_factory=OrderedDict)
     _last_miss: Optional[int] = None
+    #: predictions handed to the backend and not yet seen again as demand
+    #: misses; re-predicting one would duplicate an in-flight prefetch
+    _in_flight: "OrderedDict[int, None]" = field(default_factory=OrderedDict)
     issued: int = 0
 
     def on_demand_miss(self, addr: int) -> List[int]:
         """Record the (previous -> current) transition; predict successors."""
+        # The address showed up as a demand miss, so any prefetch we had in
+        # flight for it is resolved (usefully or not) -- it may be predicted
+        # again.
+        self._in_flight.pop(addr, None)
         if self._last_miss is not None and self._last_miss != addr:
             successors = self._table.get(self._last_miss)
             if successors is None:
@@ -52,6 +59,23 @@ class MarkovPrefetcher:
             successors.insert(0, addr)  # most recent first
             del successors[self.config.num_streams:]
         self._last_miss = addr
-        predictions = list(self._table.get(addr, ()))[: self.config.depth]
+        successors = self._table.get(addr)
+        if successors is None:
+            return []
+        # Prediction is a *use* of the entry: refresh its LRU recency, or
+        # hot predicted-from entries get evicted while stale trained-into
+        # entries survive.
+        self._table.move_to_end(addr)
+        predictions: List[int] = []
+        for successor in successors:
+            if len(predictions) >= self.config.depth:
+                break
+            if successor in self._in_flight:
+                continue  # suppressed: already in flight, and not re-counted
+            predictions.append(successor)
+        for successor in predictions:
+            self._in_flight[successor] = None
+        while len(self._in_flight) > self.table_entries:
+            self._in_flight.popitem(last=False)
         self.issued += len(predictions)
         return predictions

@@ -46,8 +46,12 @@ class StreamPrefetcher:
                         for i in range(self.config.depth)
                     ]
                     self.issued += len(picks)
-                    # Advance past what we just predicted so the stream
-                    # keeps following the program.
+                    # Advance past what we just predicted: the next miss the
+                    # stream follows is the one past the prefetched window
+                    # (the window itself is being filled).  Leaving last_addr
+                    # at ``addr`` would re-issue ``depth`` overlapping
+                    # prefetches on every subsequent miss in the stream.
+                    stream.last_addr = picks[-1]
                     return picks
                 return []
             if addr == stream.last_addr - 1 and stream.confidence == 0:

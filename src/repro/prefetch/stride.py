@@ -24,6 +24,11 @@ class StridePrefetcher:
     _last_addr: Optional[int] = None
     _stride: Optional[int] = None
     _confidence: int = 0
+    #: furthest block (in the stride's direction) already handed to the
+    #: backend; the strided windows of consecutive misses overlap by
+    #: ``depth - 1`` blocks, and re-issuing those would both waste ORAM
+    #: accesses and inflate ``issued``
+    _frontier: Optional[int] = None
     issued: int = 0
 
     def on_demand_miss(self, addr: int) -> List[int]:
@@ -34,12 +39,25 @@ class StridePrefetcher:
             if stride != 0 and stride == self._stride:
                 self._confidence += 1
                 if self._confidence >= self.config.train_threshold:
-                    picks = [
+                    window = [
                         addr + stride * (i + 1) for i in range(self.config.depth)
                     ]
-                    self.issued += len(picks)
-            else:
-                self._stride = stride if stride != 0 else self._stride
-                self._confidence = 1 if stride != 0 else self._confidence
+                    frontier = self._frontier
+                    if frontier is not None:
+                        if stride > 0:
+                            window = [b for b in window if b > frontier]
+                        else:
+                            window = [b for b in window if b < frontier]
+                    picks = window
+                    if picks:
+                        self._frontier = picks[-1]
+                        self.issued += len(picks)
+            elif stride != 0:
+                # Stride changed.  A single delta is pure noise -- it takes
+                # a confirming repeat to reach confidence 1 -- and the old
+                # issued window no longer bounds anything.
+                self._stride = stride
+                self._confidence = 0
+                self._frontier = None
         self._last_addr = addr
         return picks

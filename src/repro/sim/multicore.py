@@ -44,6 +44,17 @@ class MultiCoreSystem:
 
         if isinstance(backend, (ORAMBackend, ShardedORAMBank)):
             backend.set_llc_probe(self.llc.contains)
+        #: optional miss-stream tap: when a list is installed via
+        #: :meth:`capture_requests_into`, every demand access the backend
+        #: sees is appended as ``(addr, now, is_write)`` in issue order --
+        #: exactly the request stream a
+        #: :class:`~repro.parallel.runtime.ParallelShardRuntime` replays.
+        self._request_capture: Optional[list] = None
+
+    def capture_requests_into(self, buffer: list) -> list:
+        """Record the LLC-miss request stream of the next run into *buffer*."""
+        self._request_capture = buffer
+        return buffer
 
     # ----------------------------------------------------------------- build
     @classmethod
@@ -118,6 +129,8 @@ class MultiCoreSystem:
             return now + self.config.l1.hit_latency + self.config.llc.hit_latency
         stat["miss"] += 1
         self._now_global = max(self._now_global, now)
+        if self._request_capture is not None:
+            self._request_capture.append((addr, now, is_write))
         result = self.backend.demand_access(addr, now, is_write)
         for fill_addr, _prefetched in result.filled:
             self._fill_llc(fill_addr, dirty=is_write and fill_addr == addr)
@@ -149,3 +162,24 @@ class MultiCoreSystem:
             memory_accesses=self.backend.stats.memory_accesses,
             dummy_accesses=self.backend.stats.dummy_accesses,
         )
+
+
+def capture_miss_stream(
+    scheme: str,
+    traces: Sequence[Trace],
+    config: Optional[SystemConfig] = None,
+    num_shards: int = 1,
+) -> list:
+    """Run a multicore sim and return its LLC-miss stream.
+
+    The returned ``[(addr, now, is_write), ...]`` list is the demand
+    request sequence the shared backend actually served, in issue order --
+    a realistic address-tagged workload for replaying through a
+    :class:`~repro.controller.sharded.ShardedORAMBank` or the
+    process-parallel runtime (the parallel benchmarks feed their
+    pointer-chase workloads through here).
+    """
+    system = MultiCoreSystem.build(scheme, traces, config=config, num_shards=num_shards)
+    requests = system.capture_requests_into([])
+    system.run(traces)
+    return requests

@@ -162,14 +162,14 @@ class SecureSystem:
                 )
             # Each channel gets its own controller: scheme instance, tree
             # scaled to its slice of the footprint, and a distinct RNG fork.
-            per_shard_blocks = (footprint_blocks + num_shards - 1) // num_shards
-            shard_config = config.oram.scaled_to_footprint(per_shard_blocks)
             shards = [
-                ORAMBackend(
-                    shard_config,
-                    config.dram,
-                    cls._make_scheme(base_scheme, config, policy, static_sbsize),
-                    rng.fork(11 + 101 * index),
+                build_shard_backend(
+                    base_scheme,
+                    footprint_blocks,
+                    config,
+                    index,
+                    num_shards,
+                    static_sbsize=static_sbsize,
                     observer=observer,
                     fault_injector=fault_injector,
                     resilience=resilience,
@@ -464,3 +464,58 @@ class SecureSystem:
                 for name, value in injected.stats.as_dict().items():
                     result.extra[f"injected_{name}"] = value
         return result
+
+
+def build_shard_backend(
+    base_scheme: str,
+    footprint_blocks: int,
+    config: SystemConfig,
+    shard_index: int,
+    num_shards: int,
+    *,
+    static_sbsize: Optional[int] = None,
+    observer=None,
+    fault_injector=None,
+    resilience=None,
+    rng_restart_salt: int = 0,
+) -> ORAMBackend:
+    """Build channel ``shard_index`` of an ``num_shards``-way ORAM bank.
+
+    This is the single construction path for bank channels: the in-process
+    :meth:`SecureSystem.build` loops over it, and a
+    :mod:`repro.parallel` worker calls it for just its own index.  The RNG
+    derivation is pure in ``(config.seed, shard_index)`` -- ``fork`` hashes
+    an integer tuple, untouched by hash randomization -- so a worker
+    process rebuilds shard ``i`` bit-identically to the serial bank
+    without ever seeing the other shards.
+
+    Args:
+        base_scheme: scheme name with any prefetch/periodic suffix already
+            stripped ("oram", "stat", "dyn", ...).
+        footprint_blocks: the *global* workload footprint; each shard's
+            tree is scaled to its ceil-divided slice.
+        shard_index: which channel to build, in ``range(num_shards)``.
+        rng_restart_salt: 0 for a first boot (bit-identical to the serial
+            bank); a respawned worker passes its restart attempt number so
+            the recovered shard draws a fresh, still-deterministic leaf
+            stream instead of replaying the seed stream from the start.
+    """
+    if not 0 <= shard_index < num_shards:
+        raise ValueError(f"shard index {shard_index} outside 0..{num_shards - 1}")
+    per_shard_blocks = (footprint_blocks + num_shards - 1) // num_shards
+    shard_config = config.oram.scaled_to_footprint(per_shard_blocks)
+    rng = DeterministicRng(config.seed).fork(11 + 101 * shard_index)
+    if rng_restart_salt:
+        rng = rng.fork(0x5EC0 + rng_restart_salt)
+    backend = ORAMBackend(
+        shard_config,
+        config.dram,
+        SecureSystem._make_scheme(base_scheme, config, None, static_sbsize),
+        rng,
+        observer=observer,
+        fault_injector=fault_injector,
+        resilience=resilience,
+    )
+    backend.shard_index = shard_index
+    backend.addr_stride = num_shards
+    return backend

@@ -66,6 +66,50 @@ class TestMarkov:
         pf.on_demand_miss(10)
         assert 10 not in pf._table.get(10, [])
 
+    def test_prediction_refreshes_lru_recency(self):
+        # Regression: the prediction-side table read must refresh the
+        # entry's LRU recency (only the trainer side used to), or hot
+        # predicted-from entries age out while stale trained-into entries
+        # survive.  The repeated self-miss keeps the trainer away from
+        # entry 3, so only the prediction read can refresh it.
+        pf = make(depth=1, entries=2)
+        for addr in (2, 0, 3, 3, 3, 5):
+            pf.on_demand_miss(addr)
+        assert pf.on_demand_miss(3) == [5]
+        assert list(pf._table) == [5, 3]  # 3 is MRU, 5 is the LRU victim
+
+    def test_in_flight_prediction_suppressed_and_not_counted(self):
+        pf = make(depth=1)
+        pf.on_demand_miss(10)
+        pf.on_demand_miss(99)  # trains 10 -> 99
+        pf.on_demand_miss(10)  # wait, trains 99 -> 10 and predicts [99]
+        assert pf.issued == 1
+        # 99 never came back as a demand miss: the prefetch is still in
+        # flight, so re-predicting it is suppressed and not counted.
+        assert pf.on_demand_miss(10) == []
+        assert pf.issued == 1
+
+    def test_in_flight_retired_when_address_misses(self):
+        pf = make(depth=1)
+        pf.on_demand_miss(10)
+        pf.on_demand_miss(99)
+        assert pf.on_demand_miss(10) == [99]
+        # The line arrived (or was lost): retired, and this miss's own
+        # prediction (99 -> 10) counts as a fresh issue.
+        assert pf.on_demand_miss(99) == [10]
+        assert pf.on_demand_miss(10) == [99]
+        assert pf.issued == 3
+
+    def test_no_duplicate_in_flight_predictions(self):
+        pf = make(depth=2, width=4)
+        in_flight = set()
+        chain = [5, 17, 3, 42, 5, 17, 3, 42, 5, 5, 17, 17, 3, 42]
+        for addr in chain:
+            in_flight.discard(addr)
+            for pick in pf.on_demand_miss(addr):
+                assert pick not in in_flight
+                in_flight.add(pick)
+
     def test_system_label_builds(self):
         from repro.analysis.experiments import experiment_config
         from repro.sim.system import SecureSystem

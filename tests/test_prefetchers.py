@@ -1,4 +1,11 @@
-"""Unit tests for the traditional stream and stride prefetchers."""
+"""Unit tests for the traditional stream and stride prefetchers.
+
+These pin the *fixed* training behaviour: a trained stream advances its
+head past the window it just predicted (instead of re-issuing ``depth``
+overlapping prefetches on every subsequent miss), and the stride detector
+treats the first occurrence of a new stride as noise and dedupes its
+strided window against what it already issued.
+"""
 
 from repro.config import PrefetchConfig
 from repro.prefetch.stream import StreamPrefetcher
@@ -18,11 +25,31 @@ class TestStreamPrefetcher:
         assert pf.on_demand_miss(11) == []
         assert pf.on_demand_miss(12) == [13, 14]
 
-    def test_keeps_following_stream(self):
+    def test_keeps_following_stream_past_window(self):
         pf = make_stream()
         for addr in (10, 11, 12):
             pf.on_demand_miss(addr)
-        assert pf.on_demand_miss(13) == [14, 15]
+        # 13 and 14 were prefetched; the next miss the stream sees is 15,
+        # one past the predicted window, and the stream follows it.
+        assert pf.on_demand_miss(15) == [16, 17]
+
+    def test_no_duplicate_prefetches_across_windows(self):
+        pf = make_stream()
+        issued = []
+        for addr in (10, 11, 12, 15, 18):
+            issued.extend(pf.on_demand_miss(addr))
+        assert len(issued) == len(set(issued))
+
+    def test_window_remiss_does_not_reissue(self):
+        # A miss *inside* the just-predicted window (the prefetch did not
+        # arrive in time) must not re-issue the overlapping window.
+        pf = make_stream()
+        for addr in (10, 11):
+            pf.on_demand_miss(addr)
+        assert pf.on_demand_miss(12) == [13, 14]
+        assert pf.issued == 2
+        assert pf.on_demand_miss(13) == []
+        assert pf.issued == 2
 
     def test_descending_stream(self):
         pf = make_stream()
@@ -30,6 +57,8 @@ class TestStreamPrefetcher:
         pf.on_demand_miss(19)
         picks = pf.on_demand_miss(18)
         assert picks == [17, 16]
+        # The backward stream advanced past its window too.
+        assert pf.on_demand_miss(15) == [14, 13]
 
     def test_random_misses_never_predict(self):
         pf = make_stream()
@@ -63,9 +92,11 @@ class TestStreamPrefetcher:
 
     def test_issue_counter(self):
         pf = make_stream()
-        for addr in (1, 2, 3, 4):
+        # Train at 3 (issues 4, 5), then follow the stream at 6 (issues
+        # 7, 8): four issued prefetches, none overlapping.
+        for addr in (1, 2, 3, 6):
             pf.on_demand_miss(addr)
-        assert pf.issued == 4  # two trained predictions of depth 2
+        assert pf.issued == 4
 
 
 class TestStridePrefetcher:
@@ -75,23 +106,56 @@ class TestStridePrefetcher:
     def test_detects_constant_stride(self):
         pf = self.make()
         assert pf.on_demand_miss(0) == []
+        # First delta observation is noise; two confirmations train.
         assert pf.on_demand_miss(8) == []
-        assert pf.on_demand_miss(16) == [24, 32]
+        assert pf.on_demand_miss(16) == []
+        assert pf.on_demand_miss(24) == [32, 40]
 
     def test_negative_stride(self):
         pf = self.make()
         pf.on_demand_miss(100)
         pf.on_demand_miss(90)
-        assert pf.on_demand_miss(80) == [70, 60]
+        pf.on_demand_miss(80)
+        assert pf.on_demand_miss(70) == [60, 50]
+
+    def test_trained_window_advances_without_duplicates(self):
+        pf = self.make()
+        for addr in (0, 8, 16):
+            pf.on_demand_miss(addr)
+        assert pf.on_demand_miss(24) == [32, 40]
+        # The next strided miss only extends the window past what was
+        # already issued -- no overlapping re-issue.
+        assert pf.on_demand_miss(32) == [48]
+        assert pf.on_demand_miss(40) == [56]
+        assert pf.issued == 4
+
+    def test_no_duplicate_in_flight_prefetches(self):
+        pf = self.make()
+        issued = []
+        for addr in range(0, 96, 8):
+            issued.extend(pf.on_demand_miss(addr))
+        assert len(issued) == len(set(issued))
+        assert pf.issued == len(issued)
 
     def test_stride_change_retrains(self):
         pf = self.make()
-        pf.on_demand_miss(0)
-        pf.on_demand_miss(8)
-        pf.on_demand_miss(16)
-        pf.on_demand_miss(17)  # stride broken: confidence restarts at 1
-        # One confirmation of the new stride re-trains the predictor.
-        assert pf.on_demand_miss(18) == [19, 20]
+        for addr in (0, 8, 16, 24):
+            pf.on_demand_miss(addr)
+        # Stride breaks: the single new delta is noise, confidence resets.
+        assert pf.on_demand_miss(25) == []
+        assert pf.on_demand_miss(26) == []
+        # Two confirmations of the new stride re-train the predictor.
+        assert pf.on_demand_miss(27) == [28, 29]
+
+    def test_stride_change_resets_issued_window(self):
+        pf = self.make()
+        for addr in (0, 8, 16, 24):
+            pf.on_demand_miss(addr)  # issued window reaches 40
+        # New stride region overlapping the old window: after retraining,
+        # the old frontier must not suppress the new stream's picks.
+        for addr in (33, 34, 35):
+            pf.on_demand_miss(addr)
+        assert pf.on_demand_miss(36) == [37, 38]
 
     def test_zero_stride_ignored(self):
         pf = self.make()
@@ -99,3 +163,10 @@ class TestStridePrefetcher:
         pf.on_demand_miss(5)
         pf.on_demand_miss(5)
         assert pf.on_demand_miss(5) == []
+
+    def test_issued_counts_only_returned_picks(self):
+        pf = self.make()
+        total = 0
+        for addr in (0, 8, 16, 24, 32, 33, 34):
+            total += len(pf.on_demand_miss(addr))
+        assert pf.issued == total
