@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast profile shards parallel trace soak examples gallery audit clean
+.PHONY: install test bench bench-fast profile shards parallel trace soak chaos examples gallery audit clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -37,6 +37,9 @@ trace:
 
 soak:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_soak_faults.py
+
+chaos:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Cross-layer chaos soak: the health control plane under a full storm.
+
+Composes one seed-deterministic multi-fault storm -- worker kills, a
+hung worker, bucket bit-flips, stale replays, transient read failures
+and delayed responses -- across all three resilience layers at once
+(self-healing KV store, process-parallel shard runtime, in-process
+sharded bank) and gates the DESIGN.md §10 acceptance criteria:
+
+* **zero lost writes** -- the KV shadow sweep stays clean and the
+  parallel merge conserves every demand access exactly once;
+* **hang detection** -- the stalled worker trips the heartbeat deadline
+  and recovery stays inside the deadline-derived bound;
+* **re-admission** -- every quarantined shard returns to HEALTHY
+  through the half-open probe ladder;
+* **leaf uniformity** -- the chi-squared monitor flags no window on the
+  quarantined bank channels (the dummy-padding invariant).
+
+The verdict and per-layer counters land in ``BENCH_chaos.json`` for CI
+to archive; any failed gate exits 1.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py
+    PYTHONPATH=src python benchmarks/bench_chaos.py --ops 4000 -o /tmp/chaos.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faults.chaos import ChaosScenario, chaos_policy, run_chaos
+
+DEFAULT_OPS = 20_000
+
+
+def build_scenario(ops: int, shards: int, seed: int) -> ChaosScenario:
+    """Split the op budget 40/20/40 across parallel/kv/bank layers (the
+    same split the ``repro chaos`` CLI uses)."""
+    parallel_ops = (2 * ops) // 5
+    return ChaosScenario(
+        name="soak",
+        seed=seed,
+        num_shards=shards,
+        parallel_ops=parallel_ops,
+        kv_ops=ops - 2 * parallel_ops,
+        bank_ops=parallel_ops,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=DEFAULT_OPS,
+                        help="total accesses across all layers")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--layers", default="kv,parallel,bank",
+                        help="comma-separated subset of kv,parallel,bank")
+    parser.add_argument("-o", "--output", default="BENCH_chaos.json")
+    args = parser.parse_args(argv)
+
+    scenario = build_scenario(args.ops, args.shards, args.seed)
+    layers = tuple(layer.strip() for layer in args.layers.split(",") if layer.strip())
+    start = time.perf_counter()
+    report = run_chaos(scenario, chaos_policy(), layers=layers)
+    elapsed = time.perf_counter() - start
+
+    print(report.render())
+    print(f"  wall clock: {elapsed:.1f} s")
+
+    payload = report.as_dict()
+    payload["elapsed_s"] = elapsed
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

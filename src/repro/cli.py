@@ -113,16 +113,30 @@ def _fault_build_kwargs(args):
 
 
 def _run_build_kwargs(args):
-    """Compose the ``--fault-*`` and ``--shards`` flags into build kwargs."""
+    """Compose the ``--fault-*``, ``--shards``, and ``--health-policy``
+    flags into build kwargs."""
     faults = _fault_build_kwargs(args)
     shards = getattr(args, "shards", 1)
-    if faults is None and shards == 1:
+    policy_spec = getattr(args, "health_policy", None)
+    if faults is None and shards == 1 and policy_spec is None:
         return None
+    policy = None
+    if policy_spec is not None:
+        if shards == 1:
+            raise SystemExit("--health-policy needs a sharded bank (--shards > 1)")
+        from repro.health import HealthPolicy
+
+        try:
+            policy = HealthPolicy.parse(policy_spec)
+        except ValueError as error:
+            raise SystemExit(str(error))
 
     def build_kwargs(scheme):
         kwargs = dict(faults(scheme)) if faults is not None else {}
         if shards != 1 and not scheme.startswith("dram"):
             kwargs["num_shards"] = shards
+            if policy is not None:
+                kwargs["health_policy"] = policy
         return kwargs
 
     return build_kwargs
@@ -410,6 +424,15 @@ def cmd_parallel(args) -> int:
     from repro.parallel import ParallelShardRuntime, run_serial_reference
     from repro.parallel.merge import requests_from_trace
 
+    health_policy = None
+    if getattr(args, "health_policy", None):
+        from repro.health import HealthPolicy
+
+        try:
+            health_policy = HealthPolicy.parse(args.health_policy)
+        except ValueError as error:
+            raise SystemExit(str(error))
+
     trace = build_trace(args.workload, args.accesses, seed=args.seed)
     requests = requests_from_trace(trace)
     config = experiment_config()
@@ -437,6 +460,7 @@ def cmd_parallel(args) -> int:
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
             batch_size=args.batch,
+            health_policy=health_policy,
         ) as runtime:
             begin = time.perf_counter()
             parallel = runtime.run(requests, workload=trace.name, fsck=args.fsck)
@@ -455,6 +479,46 @@ def cmd_parallel(args) -> int:
         + (f"   worker restarts: {restarts}" if restarts else "")
     )
     return 0 if identical else 1
+
+
+def cmd_chaos(args) -> int:
+    """Cross-layer chaos storm: KV ladder + parallel runtime + bank plane."""
+    import json
+
+    from repro.faults.chaos import ChaosScenario, chaos_policy, run_chaos
+    from repro.health import HealthPolicy
+
+    if args.ops < 0:
+        raise SystemExit("--ops must be >= 0")
+    # The default 20k-op soak splits 40/20/40 across the layers.
+    parallel_ops = (2 * args.ops) // 5
+    kv_ops = args.ops - 2 * ((2 * args.ops) // 5)
+    scenario = ChaosScenario(
+        name=args.name,
+        seed=args.seed,
+        scheme=args.scheme,
+        num_shards=args.shards,
+        parallel_ops=parallel_ops,
+        kv_ops=kv_ops,
+        bank_ops=(2 * args.ops) // 5,
+    )
+    policy = chaos_policy()
+    if args.health_policy:
+        try:
+            policy = HealthPolicy.parse(args.health_policy)
+        except ValueError as error:
+            raise SystemExit(str(error))
+    layers = tuple(
+        layer.strip() for layer in args.layers.split(",") if layer.strip()
+    )
+    report = run_chaos(scenario, policy, layers=layers)
+    print(report.render())
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.output}")
+    return 0 if report.ok else 1
 
 
 # --------------------------------------------------------------------- main
@@ -515,6 +579,14 @@ def make_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="channel-interleave the ORAM over N independent controller "
         "instances (1 = the paper's single serialized controller)",
+    )
+    run_p.add_argument(
+        "--health-policy",
+        metavar="KEY=VAL,...",
+        default=None,
+        help="attach a per-shard circuit-breaker control plane to the "
+        "sharded bank (requires --shards > 1); keys are HealthPolicy "
+        "fields, e.g. window=32,quarantine_cooldown=16",
     )
     run_p.add_argument(
         "--trace-out",
@@ -595,7 +667,40 @@ def make_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="audit every shard's ORAM invariants in-worker after the run",
     )
+    parallel_p.add_argument(
+        "--health-policy",
+        metavar="KEY=VAL[,...]",
+        help="supervise workers with per-shard circuit breakers "
+        "(heartbeats, deadlines, quarantine fallback); see DESIGN.md §10",
+    )
     parallel_p.set_defaults(func=cmd_parallel)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="seed-deterministic multi-fault storm across all resilience "
+        "layers (KV ladder, parallel runtime, in-process bank)",
+    )
+    chaos_p.add_argument("--name", default="storm")
+    chaos_p.add_argument("--ops", type=int, default=20_000,
+                         help="total ops, split 40/20/40 over parallel/kv/bank")
+    chaos_p.add_argument("--shards", type=int, default=4, metavar="N")
+    chaos_p.add_argument("-s", "--scheme", default="dyn")
+    chaos_p.add_argument("--seed", type=int, default=11)
+    chaos_p.add_argument(
+        "--layers",
+        default="kv,parallel,bank",
+        help="comma-separated subset of kv,parallel,bank",
+    )
+    chaos_p.add_argument(
+        "--health-policy",
+        metavar="KEY=VAL,...",
+        default=None,
+        help="override the storm-tuned HealthPolicy (same grammar as "
+        "`repro run --health-policy`)",
+    )
+    chaos_p.add_argument("-o", "--output", default=None, metavar="FILE",
+                         help="write the full JSON report")
+    chaos_p.set_defaults(func=cmd_chaos)
 
     parity_p = sub.add_parser(
         "parity", help="run one seeded trace through every ORAMScheme"

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.health.breaker import HealthState
 from repro.memory.backend import BackendStats, DemandResult, MemoryBackend
 from repro.memory.oram_backend import ORAMBackend
 
@@ -96,6 +97,10 @@ class ShardedORAMBank(MemoryBackend):
             shard.oram.position_map.num_blocks for shard in self.shards
         )
         self._llc_probe_installed = False
+        #: optional :class:`~repro.health.HealthControlPlane`; ``None``
+        #: keeps the access path bit-identical to the pre-health bank
+        self.health = None
+        self._pressure_limits: List[int] = []
 
     # ----------------------------------------------------------------- wiring
     def set_recorder(self, recorder) -> None:
@@ -124,6 +129,41 @@ class ShardedORAMBank(MemoryBackend):
             )
         self._llc_probe_installed = True
 
+    def attach_health(self, plane) -> None:
+        """Install a :class:`~repro.health.HealthControlPlane`.
+
+        The plane must be as wide as the bank.  Once attached, every
+        demand access feeds its shard's breaker (fault outcome +
+        latency), breaker state drives per-shard mitigation (degraded
+        mode throttling, quarantine fallback with dummy padding,
+        half-open probes), and stash occupancy above the policy's
+        pressure watermark degrades the shard immediately.  Detach with
+        ``None`` (mitigations are lifted).
+        """
+        if plane is not None and plane.num_shards != self.num_shards:
+            raise ValueError(
+                f"health plane is {plane.num_shards} wide, bank is "
+                f"{self.num_shards}"
+            )
+        self.health = plane
+        if plane is None:
+            self._pressure_limits = []
+            for shard in self.shards:
+                shard.set_degraded(False)
+            return
+        fraction = plane.policy.stash_pressure_fraction
+        self._pressure_limits = [
+            max(1, int(shard.oram.stash.capacity * fraction))
+            for shard in self.shards
+        ]
+
+    def quarantine_shard(self, index: int, reason: str = "operator") -> None:
+        """Hard-quarantine one channel (chaos/fault hook; needs a plane)."""
+        if self.health is None:
+            raise ValueError("no health plane attached")
+        self.health.record_hard_failure(index, reason)
+        self.shards[index].set_degraded(True)
+
     def _split(self, addr: int) -> Tuple[ORAMBackend, int]:
         return self.shards[addr % self.num_shards], addr // self.num_shards
 
@@ -140,7 +180,63 @@ class ShardedORAMBank(MemoryBackend):
     def demand_access(self, addr: int, now: int, is_write: bool) -> DemandResult:
         shard_index = addr % self.num_shards
         shard = self.shards[shard_index]
-        result = shard.demand_access(addr // self.num_shards, now, is_write)
+        if self.health is None:
+            result = shard.demand_access(addr // self.num_shards, now, is_write)
+            return self._globalize(shard_index, result)
+        return self._health_access(
+            shard_index, shard, addr // self.num_shards, now, is_write
+        )
+
+    def _health_access(
+        self, shard_index: int, shard: ORAMBackend, local: int, now: int,
+        is_write: bool,
+    ) -> DemandResult:
+        """One demand access routed through the health state machine.
+
+        Quarantined channels serve their own addresses (the blocks live
+        in their tree; there is nowhere else to read them) but do so on
+        the *serial fallback path*: one access at a time, each padded
+        with a dummy path access so every quarantined-channel request --
+        fallback or half-open probe -- presents the same two-path shape
+        to the storage adversary.  Both paths draw uniformly random
+        leaves, so the access sequence stays indistinguishable from the
+        healthy one (the chaos harness gates this with the
+        :class:`~repro.observability.LeafUniformityMonitor`).
+        """
+        health = self.health
+        state = health.state(shard_index)
+        if state is HealthState.QUARANTINED and health.begin_probe_if_ready(
+            shard_index
+        ):
+            state = HealthState.PROBING
+        stats = shard.stats
+        faults_before = stats.transient_faults
+        start = max(now, shard.busy_until)
+        result = shard.demand_access(local, now, is_write)
+        ok = stats.transient_faults == faults_before
+        if state is HealthState.QUARANTINED:
+            result.completion_cycle = shard.dummy_path_access(
+                result.completion_cycle
+            )
+            health.record_fallback(shard_index)
+            if not ok:
+                # A fault on the fallback path restarts the cooldown:
+                # the shard is demonstrably still sick.
+                health.record_hard_failure(shard_index, "fallback_fault")
+        elif state is HealthState.PROBING:
+            result.completion_cycle = shard.dummy_path_access(
+                result.completion_cycle
+            )
+            health.record_probe(shard_index, ok)
+        else:
+            health.record_access(
+                shard_index, ok, result.completion_cycle - start
+            )
+            if len(shard.oram.stash) > self._pressure_limits[shard_index]:
+                health.record_pressure(shard_index)
+        throttled = health.state(shard_index).throttled
+        if throttled != shard._health_degraded:
+            shard.set_degraded(throttled)
         return self._globalize(shard_index, result)
 
     def prefetch_access(self, addr: int, now: int) -> Optional[DemandResult]:

@@ -19,6 +19,13 @@ Entry points:
   ``ORAMScheme`` implementation and sharded banks.
 """
 
+from repro.faults.chaos import (
+    ChaosEvent,
+    ChaosReport,
+    ChaosScenario,
+    chaos_policy,
+    run_chaos,
+)
 from repro.faults.fsck import (
     FsckError,
     FsckReport,
@@ -40,6 +47,11 @@ from repro.faults.resilient import (
 )
 
 __all__ = [
+    "ChaosEvent",
+    "ChaosReport",
+    "ChaosScenario",
+    "chaos_policy",
+    "run_chaos",
     "FaultConfig",
     "FaultInjector",
     "FaultStats",

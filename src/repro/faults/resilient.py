@@ -61,6 +61,11 @@ class ResilienceConfig:
             failure is treated as persistent and escalated to recovery.
         backoff_base_cycles: base of the exponential backoff; retry ``k``
             waits ``base * 2**k`` cycles plus deterministic jitter.
+        backoff_max_cycles: ceiling on the exponential term.  The shift
+            is otherwise unbounded in the attempt number, so a generous
+            retry budget could charge astronomically large (even
+            multi-gigacycle) waits; the cap turns deep retry ladders
+            into a plateau instead.
         max_recoveries_per_op: checkpoint recoveries one operation may
             trigger before :class:`RecoveryError` is raised.
         checkpoint_interval: acknowledged writes between checkpoint
@@ -72,6 +77,7 @@ class ResilienceConfig:
 
     max_retries: int = 4
     backoff_base_cycles: int = 16
+    backoff_max_cycles: int = 1 << 16
     max_recoveries_per_op: int = 3
     checkpoint_interval: int = 128
     stash_soft_fraction: float = 0.8
@@ -82,6 +88,10 @@ class ResilienceConfig:
             raise ValueError("max_retries must be >= 0")
         if self.checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
+        if self.backoff_max_cycles < self.backoff_base_cycles:
+            raise ValueError(
+                "backoff_max_cycles must be >= backoff_base_cycles"
+            )
         if not 0.0 < self.stash_soft_fraction <= 1.0:
             raise ValueError("stash_soft_fraction must be in (0, 1]")
 
@@ -292,9 +302,16 @@ class ResilientKVStore(ObliviousKVStore):
 
     def _backoff(self, attempt: int) -> int:
         """Exponential backoff cycles for retry ``attempt`` (0-based), with
-        deterministic jitter so repeated runs replay exactly."""
+        deterministic jitter so repeated runs replay exactly.  The
+        exponential term saturates at ``backoff_max_cycles`` -- an
+        unbounded shift would charge absurd waits under deep retry
+        budgets (and overflow any realistic cycle budget)."""
         base = self.resilience.backoff_base_cycles
-        return (base << attempt) + self._backoff_rng.randbelow(max(1, base))
+        # Cap the shift amount too: (base << attempt) materializes a
+        # huge integer before min() could discard it.
+        capped_attempt = min(attempt, self.resilience.backoff_max_cycles.bit_length())
+        wait = min(base << capped_attempt, self.resilience.backoff_max_cycles)
+        return wait + self._backoff_rng.randbelow(max(1, base))
 
     # --------------------------------------------------------------- recovery
     def _recover(self) -> None:

@@ -107,6 +107,10 @@ class ORAMBackend(MemoryBackend):
         #: optional callback(occupancy) sampled after every demand access
         #: (the stash-occupancy study hooks in here)
         self.stash_sampler: Optional[Callable[[int], None]] = None
+        #: health-plane degraded mode: merges throttled, prefetches shed
+        self._health_degraded = False
+        #: when degraded, prefetch_access sheds requests before they queue
+        self.prefetch_throttled = False
         # ----------------------------------------------- fault resilience
         self.injector = fault_injector
         self.resilience = resilience
@@ -144,6 +148,40 @@ class ORAMBackend(MemoryBackend):
 
     def _probe_llc(self, addr: int) -> bool:
         return self._llc_contains(addr)
+
+    # ----------------------------------------------------------- health plane
+    def set_degraded(self, degraded: bool) -> None:
+        """Enter/leave health-plane degraded mode.
+
+        Degradation trades throughput for stability *before* load is
+        shed: super-block merges are suspended (they amplify stash
+        pressure) and traditional prefetches are dropped at the door
+        (they occupy the controller demand traffic needs).  Idempotent;
+        the stash-relief rung below re-asserts the merge throttle so the
+        two mechanisms compose instead of fighting.
+        """
+        self._health_degraded = degraded
+        self.prefetch_throttled = degraded
+        self.scheme.set_merge_throttled(degraded)
+
+    def dummy_path_access(self, now: int) -> int:
+        """One timed dummy path access (health-plane padding).
+
+        A quarantined channel pads every fallback/probe access with one
+        of these so real and probe traffic present a single fixed shape
+        (two uniformly-drawn paths per request) -- the padding invariant
+        of DESIGN.md section 10.  Charged like any background eviction:
+        a full path access that occupies the channel.  Returns the
+        completion cycle.
+        """
+        start = max(now, self.busy_until)
+        self.oram.dummy_access(kind="padding")
+        self.stats.dummy_accesses += 1
+        self.stats.memory_accesses += 1
+        completion = start + self.timing.path_cycles
+        self.busy_until = completion
+        self.stats.busy_cycles += self.timing.path_cycles
+        return completion
 
     # ------------------------------------------------------- fault resilience
     def _fault_delay(self) -> int:
@@ -186,7 +224,7 @@ class ORAMBackend(MemoryBackend):
         oram = self.oram
         limit = self._stash_soft_limit
         throttled = len(oram.stash) > limit
-        self.scheme.set_merge_throttled(throttled)
+        self.scheme.set_merge_throttled(throttled or self._health_degraded)
         if not throttled:
             return 0
         forced = 0
@@ -195,7 +233,7 @@ class ORAMBackend(MemoryBackend):
             forced += 1
         self.stats.forced_evictions += forced
         if len(oram.stash) <= limit:
-            self.scheme.set_merge_throttled(False)
+            self.scheme.set_merge_throttled(self._health_degraded)
         return forced
 
     # -------------------------------------------------------------- internals
@@ -246,6 +284,10 @@ class ORAMBackend(MemoryBackend):
         ORAM controller and there is no idle time for prefetching",
         section 3.1).
         """
+        if self.prefetch_throttled:
+            # Health-plane degraded mode: shed prefetches before they
+            # occupy the controller (demand traffic keeps its slot).
+            return None
         if self.busy_until > now + self.timing.path_cycles:
             return None
         if not 0 <= addr < self.oram.position_map.num_blocks:

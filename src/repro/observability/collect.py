@@ -64,6 +64,9 @@ def collect_system(system, registry: Optional[MetricsRegistry] = None) -> Metric
         for name, cycles in backend.phase_breakdown().items():
             registry.counter(f"pipeline.phase_{name}_cycles").set(cycles)
         registry.gauge("bank.num_shards").set(backend.num_shards)
+        health = getattr(backend, "health", None)
+        if health is not None:
+            health.to_registry(registry)
 
     injector = getattr(backend, "injector", None)
     if injector is not None:
@@ -87,10 +90,14 @@ def collect_parallel(runtime, registry: Optional[MetricsRegistry] = None) -> Met
     """Merge a ``ParallelShardRuntime``'s worker telemetry into *registry*.
 
     The runtime populates ``parallel.worker<i>.queue_depth`` gauges,
-    ``.batches`` / ``.restarts`` counters, and a ``.batch_roundtrip_us``
-    latency histogram in its own registry as it pumps batches; this copies
-    the current values across (create-or-get, so repeated collection is
-    idempotent for gauges and overwrites counters with the live totals).
+    ``.batches`` / ``.restarts`` / ``.hangs`` / ``.fallback_batches``
+    counters, and a ``.batch_roundtrip_us`` latency histogram in its own
+    registry as it pumps batches; this copies the current values across
+    (create-or-get, so repeated collection is idempotent for gauges and
+    overwrites counters with the live totals).  Restart and hang counters
+    are forced to exist for every worker -- a report that says ``0`` beats
+    one that silently omits the healthy shards -- and a health control
+    plane, when attached, lands under its usual ``health.*`` names.
     """
     registry = registry if registry is not None else MetricsRegistry()
     for instrument in runtime.registry:
@@ -104,6 +111,13 @@ def collect_parallel(runtime, registry: Optional[MetricsRegistry] = None) -> Met
         else:
             registry.counter(instrument.name).set(instrument.value)
     registry.gauge("parallel.num_workers").set(runtime.num_workers)
+    for index, restarts in enumerate(runtime.worker_restarts()):
+        registry.counter(f"parallel.worker{index}.restarts").set(restarts)
+    for index, hangs in enumerate(runtime.worker_hangs()):
+        registry.counter(f"parallel.worker{index}.hangs").set(hangs)
+    health = getattr(runtime, "health", None)
+    if health is not None:
+        health.to_registry(registry)
     return registry
 
 

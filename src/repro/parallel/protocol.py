@@ -13,12 +13,15 @@ Commands (front-end -> worker)::
     ("stats", seq)           # sample a counter snapshot
     ("fsck", seq)            # audit the shard's ORAM invariants
     ("checkpoint", seq)      # force a checkpoint outside the cadence
+    ("throttle", None, flag) # degraded-mode switch; no reply
+    ("hang", None, seconds)  # chaos hook: stall the command loop; no reply
     ("shutdown",)
 
 Replies (worker -> front-end)::
 
     ("ready", last_seq, [[seq, completions], ...])   # after (re)spawn
     ("batch_done", seq, [completion, ...], checkpointed_seq)
+    ("heartbeat", seq, done_count)   # mid-batch progress (liveness proof)
     ("drained", seq)
     ("stats", seq, snapshot_dict)
     ("fsck_done", seq, ok, summary)
@@ -36,6 +39,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.config import SystemConfig
+from repro.faults.injector import FaultConfig
 
 
 @dataclass(frozen=True)
@@ -66,6 +70,13 @@ class ShardSpec:
             attempt number so the recovered shard draws a fresh (still
             deterministic) leaf stream instead of replaying the original
             one from the start.
+        heartbeat_every: completions between mid-batch ``heartbeat``
+            replies (0 disables).  Heartbeats let the front-end tell a
+            slow worker from a hung one under deadline enforcement.
+        fault_config: optional in-worker fault injection.  The worker
+            salts the config seed with ``(shard_index, rng_restart_salt)``
+            so every shard -- and every respawn -- draws an independent,
+            still deterministic fault stream.
     """
 
     base_scheme: str
@@ -78,3 +89,5 @@ class ShardSpec:
     checkpoint_every: int = 1
     replay_window: int = 8
     rng_restart_salt: int = 0
+    heartbeat_every: int = 0
+    fault_config: Optional[FaultConfig] = None

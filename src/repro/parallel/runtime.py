@@ -27,6 +27,24 @@ Observability: per-worker queue-depth gauges, batch round-trip latency
 histograms, and restart counters land in a
 :class:`~repro.observability.metrics.MetricsRegistry` under
 ``parallel.worker<i>.*``.
+
+Health control plane (optional): constructed with a
+:class:`~repro.health.HealthPolicy`, the runtime wraps every worker in a
+:class:`~repro.health.CircuitBreaker` and enforces wall-clock deadlines.
+Workers emit mid-batch ``heartbeat`` replies; a worker whose in-flight
+batches make no progress (no ack, no heartbeat) for ``batch_deadline_s``
+is declared *hung*, terminated, and -- like a killed worker -- lands in
+QUARANTINE instead of being respawned immediately.  While quarantined,
+its shard is served by an in-process fallback backend restored from the
+worker's checkpoint, one batch at a time, with one dummy-path access
+padding every request so fallback traffic keeps the uniform-leaf access
+shape.  After the breaker's cooldown the fallback state is checkpointed
+back and a fresh worker is respawned half-open (PROBING, inflight capped
+at 1); enough successful probe batches re-admit it to full pipelining.
+DEGRADED workers (tripped latency window) run with halved inflight and
+their backend's super-block merges / prefetcher throttled via the
+``throttle`` command.  Without a policy, behavior is bit-identical to
+the pre-health runtime.
 """
 
 from __future__ import annotations
@@ -38,6 +56,8 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
+from repro.faults.injector import FaultConfig
+from repro.health import HealthControlPlane, HealthPolicy, HealthState
 from repro.observability.metrics import MetricsRegistry
 from repro.parallel.merge import merge_shard_snapshots
 from repro.parallel.protocol import ShardSpec
@@ -67,6 +87,19 @@ class _Worker:
         self.unckpt: Dict[int, Tuple[List[int], list]] = {}
         self.sent_at: Dict[int, float] = {}
         self.restarts = 0
+        self.hangs = 0
+        #: last wall-clock instant this worker proved progress (spawn,
+        #: send, heartbeat, or any reply) -- the deadline reference point
+        self.last_progress = 0.0
+        #: whether the worker process was told to run degraded
+        self.throttled = False
+        # quarantine bookkeeping: the in-process stand-in backend, the
+        # last seq applied to it, and its recent seq -> completions window
+        self.fallback = None
+        self.fallback_seq = -1
+        self.fallback_window: Dict[int, List[int]] = {}
+        #: restart budget exhausted: stay on the fallback, never probe
+        self.no_probe = False
 
     @property
     def inflight(self) -> int:
@@ -111,6 +144,22 @@ class ParallelShardRuntime:
             so a lost acknowledgement is always recoverable.
         max_restarts: per-worker respawn budget before giving up.
         metrics: optional shared registry for the per-worker gauges.
+        health_policy: enable the health control plane (per-worker
+            circuit breakers, quarantine fallback routing, half-open
+            probing).  Requires ``checkpoint_dir`` -- the fallback path
+            is restored from the worker's checkpoint.  Also supplies
+            defaults for the three enforcement knobs below.
+        batch_deadline_s: wall-clock seconds an in-flight worker may go
+            without progress (ack or heartbeat) before it is declared
+            hung and terminated.  ``None`` takes the policy's value, or
+            disables enforcement when no policy is given; 0 disables.
+        heartbeat_every: completions between mid-batch worker heartbeats
+            (``None``: policy value, or 0 without a policy).
+        join_timeout_s: ``Process.join`` timeout for every lifecycle
+            path -- shutdown, terminate-after-hang, post-mortem join
+            (``None``: policy value, or 5 s without a policy).
+        fault_config: in-worker fault injection (seed salted per shard
+            and per respawn); the chaos harness's storm knob.
     """
 
     def __init__(
@@ -127,6 +176,11 @@ class ParallelShardRuntime:
         max_inflight: int = 4,
         max_restarts: int = 2,
         metrics: Optional[MetricsRegistry] = None,
+        health_policy: Optional[HealthPolicy] = None,
+        batch_deadline_s: Optional[float] = None,
+        heartbeat_every: Optional[int] = None,
+        join_timeout_s: Optional[float] = None,
+        fault_config: Optional[FaultConfig] = None,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -134,6 +188,11 @@ class ParallelShardRuntime:
             raise ValueError("sharded banks model ORAM channels, not DRAM")
         if batch_size < 1 or max_inflight < 1:
             raise ValueError("batch_size and max_inflight must be positive")
+        if health_policy is not None and not checkpoint_dir:
+            raise ValueError(
+                "the health control plane needs checkpoint_dir: quarantine "
+                "routing restores the fallback path from worker checkpoints"
+            )
         self.scheme = scheme
         self.footprint_blocks = footprint_blocks
         self.config = config or SystemConfig()
@@ -145,6 +204,27 @@ class ParallelShardRuntime:
         self.max_inflight = max_inflight
         self.max_restarts = max_restarts
         self.registry = metrics if metrics is not None else MetricsRegistry()
+        self.health = (
+            HealthControlPlane(num_workers, health_policy, metrics=self.registry)
+            if health_policy is not None
+            else None
+        )
+        self.join_timeout_s = (
+            join_timeout_s
+            if join_timeout_s is not None
+            else (health_policy.join_timeout_s if health_policy else 5.0)
+        )
+        self.batch_deadline_s = (
+            batch_deadline_s
+            if batch_deadline_s is not None
+            else (health_policy.batch_deadline_s if health_policy else 0.0)
+        )
+        self.heartbeat_every = (
+            heartbeat_every
+            if heartbeat_every is not None
+            else (health_policy.heartbeat_every if health_policy else 0)
+        )
+        self.fault_config = fault_config
         self._ctx = multiprocessing.get_context()
         self._workers = [_Worker(index) for index in range(num_workers)]
         if checkpoint_dir:
@@ -175,6 +255,8 @@ class ParallelShardRuntime:
             checkpoint_every=self.checkpoint_every,
             replay_window=max(2 * self.max_inflight, 8),
             rng_restart_salt=restart_salt,
+            heartbeat_every=self.heartbeat_every,
+            fault_config=self.fault_config,
         )
 
     def _spawn(self, worker: _Worker) -> Tuple[int, list]:
@@ -189,6 +271,8 @@ class ParallelShardRuntime:
             name=f"repro-shard-{worker.index}",
         )
         worker.process.start()
+        worker.last_progress = time.perf_counter()
+        worker.throttled = False
         reply = self._await_reply(worker)
         if reply[0] == "error":
             raise WorkerFailure(f"worker {worker.index} failed to start: {reply[2]}")
@@ -215,10 +299,10 @@ class ParallelShardRuntime:
             process = worker.process
             if process is None:
                 continue
-            process.join(timeout=5)
+            process.join(timeout=self.join_timeout_s)
             if process.is_alive():
                 process.terminate()
-                process.join(timeout=5)
+                process.join(timeout=self.join_timeout_s)
 
     def __enter__(self) -> "ParallelShardRuntime":
         return self
@@ -227,24 +311,53 @@ class ParallelShardRuntime:
         self.close()
 
     # --------------------------------------------------------------- pumping
-    def _await_reply(self, worker: _Worker):
+    def _deadline_expired(self, worker: _Worker) -> bool:
+        return (
+            self.batch_deadline_s > 0
+            and time.perf_counter() - worker.last_progress > self.batch_deadline_s
+        )
+
+    def _terminate_hung(self, worker: _Worker) -> None:
+        """Declare a live-but-silent worker hung and take it down."""
+        worker.hangs += 1
+        self.registry.counter(f"parallel.worker{worker.index}.hangs").inc()
+        process = worker.process
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=self.join_timeout_s)
+
+    def _await_reply(self, worker: _Worker, *, deadline: bool = False):
         """Block until *worker* replies; raise :class:`WorkerFailure` if it
         dies first (the caller owns recovery, since only it knows which
-        commands the dead incarnation's queue took with it)."""
+        commands the dead incarnation's queue took with it).  Heartbeats
+        are consumed here -- they refresh the progress clock but are never
+        surfaced.  With ``deadline=True`` a worker that stays silent past
+        ``batch_deadline_s`` is terminated and reported as a failure."""
         while True:
             try:
-                return worker.replies.get(timeout=_POLL_S)
+                reply = worker.replies.get(timeout=_POLL_S)
             except queue_module.Empty:
                 if worker.process.is_alive():
+                    if deadline and self._deadline_expired(worker):
+                        self._terminate_hung(worker)
+                        raise WorkerFailure(
+                            f"worker {worker.index} hung: no progress for "
+                            f"{self.batch_deadline_s:.3f}s"
+                        )
                     continue
                 # One last drain: the worker may have replied, then died.
                 reply = _drain_nowait(worker.replies)
                 if reply is not None:
+                    worker.last_progress = time.perf_counter()
                     return reply
                 raise WorkerFailure(
                     f"worker {worker.index} died "
                     f"(exitcode {worker.process.exitcode})"
                 )
+            worker.last_progress = time.perf_counter()
+            if reply[0] == "heartbeat":
+                continue
+            return reply
 
     def _send_batch(
         self, worker: _Worker, positions: List[int], batch: list
@@ -253,6 +366,9 @@ class ParallelShardRuntime:
         worker.next_seq += 1
         worker.pending[seq] = (positions, batch)
         worker.sent_at[seq] = time.perf_counter()
+        # A send restarts the progress clock: deadlines measure silence
+        # *after* work was handed over, not idle time between batches.
+        worker.last_progress = worker.sent_at[seq]
         worker.commands.put(("batch", seq, batch))
         self.registry.gauge(f"parallel.worker{worker.index}.queue_depth").set(
             worker.inflight
@@ -283,11 +399,14 @@ class ParallelShardRuntime:
             if seq > checkpointed_seq:
                 worker.unckpt[seq] = entry
             sent = worker.sent_at.pop(seq, None)
+            roundtrip_us = 0
             if sent is not None:
+                roundtrip_us = int((time.perf_counter() - sent) * 1e6)
                 self.registry.histogram(
                     f"parallel.worker{worker.index}.batch_roundtrip_us"
-                ).record(int((time.perf_counter() - sent) * 1e6))
+                ).record(roundtrip_us)
             self.registry.counter(f"parallel.worker{worker.index}.batches").inc()
+            self._feed_health_ack(worker, roundtrip_us)
         for covered in [s for s in worker.unckpt if s <= checkpointed_seq]:
             del worker.unckpt[covered]
         self.registry.gauge(f"parallel.worker{worker.index}.queue_depth").set(
@@ -295,7 +414,51 @@ class ParallelShardRuntime:
         )
         return newly_recorded
 
+    # --------------------------------------------------------- health feeding
+    def _feed_health_ack(self, worker: _Worker, roundtrip_us: int) -> None:
+        """One batch acknowledgement reached the front-end: feed the
+        breaker.  Probe acks count toward re-admission; normal acks feed
+        the latency window (microseconds stand in for cycles -- the policy
+        knob is documented as round-trip µs for the parallel runtime)."""
+        if self.health is None:
+            return
+        state = self.health.state(worker.index)
+        if state is HealthState.PROBING:
+            self.health.record_probe(worker.index, True)
+            if self.health.state(worker.index) is HealthState.HEALTHY:
+                self._set_worker_throttle(worker, False)
+            return
+        self.health.record_access(worker.index, True, roundtrip_us)
+        self._set_worker_throttle(
+            worker, self.health.state(worker.index) is HealthState.DEGRADED
+        )
+
+    def _set_worker_throttle(self, worker: _Worker, flag: bool) -> None:
+        if worker.throttled == flag:
+            return
+        process = worker.process
+        if process is None or not process.is_alive():
+            return
+        worker.commands.put(("throttle", None, flag))
+        worker.throttled = flag
+
     # -------------------------------------------------------------- recovery
+    def _fail_worker(self, worker: _Worker, reason: str, results) -> int:
+        """Route one dead/hung worker through the configured ladder.
+
+        Without a health plane this is the original immediate
+        respawn-and-replay (:meth:`_recover`).  With one, the worker is
+        quarantined: its outstanding batches are resolved against an
+        in-process fallback backend and subsequent traffic is served
+        there until the breaker re-admits it.  Returns how many batches
+        were newly recorded into *results* (0 on the respawn path, where
+        replayed batches are acknowledged through the queues instead).
+        """
+        if self.health is None:
+            self._recover(worker)
+            return 0
+        return self._quarantine(worker, reason, results)
+
     def _recover(self, worker: _Worker) -> None:
         """Respawn a dead worker from its checkpoint and replay the gap."""
         if not self.checkpoint_dir:
@@ -308,7 +471,7 @@ class ParallelShardRuntime:
                 f"worker {worker.index} exceeded its restart budget "
                 f"({self.max_restarts})"
             )
-        worker.process.join(timeout=5)
+        worker.process.join(timeout=self.join_timeout_s)
         worker.restarts += 1
         self.registry.counter(f"parallel.worker{worker.index}.restarts").inc()
         # Fresh queues (via _spawn): the old ones may hold a torn pickle.
@@ -333,6 +496,179 @@ class ParallelShardRuntime:
             worker.pending[seq] = (positions, batch)
             worker.sent_at[seq] = time.perf_counter()
             worker.commands.put(("batch", seq, batch))
+
+    def _quarantine(self, worker: _Worker, reason: str, results) -> int:
+        """Trip the breaker and swing the shard onto its fallback path.
+
+        The fallback backend is rebuilt in-process from the worker's
+        checkpoint (without the worker's fault injector: the front-end
+        process is the trusted domain, faults model worker memory).
+        Outstanding batches are resolved immediately -- answered from the
+        checkpoint's reply window when it already covers them, re-executed
+        on the fallback otherwise -- so no completion is ever lost.
+        """
+        self.health.record_hard_failure(worker.index, reason)
+        process = worker.process
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=self.join_timeout_s)
+        # The fallback is the shard's next incarnation: it advances the
+        # restart salt so its leaf stream is fresh, like any respawn.
+        worker.restarts += 1
+        self.registry.counter(f"parallel.worker{worker.index}.restarts").inc()
+        from repro.oram.checkpoint import restore_backend
+        from repro.sim.system import build_shard_backend
+
+        backend = build_shard_backend(
+            self.scheme,
+            self.footprint_blocks,
+            self.config,
+            worker.index,
+            self.num_workers,
+            static_sbsize=self.static_sbsize,
+            rng_restart_salt=worker.restarts,
+        )
+        runtime_state = restore_backend(
+            backend, self._checkpoint_path(worker.index)
+        )
+        restored_seq = runtime_state.get("last_seq", -1)
+        window = {
+            seq: list(completions)
+            for seq, completions in runtime_state.get("replies", [])
+        }
+        worker.fallback = backend
+        worker.fallback_seq = restored_seq
+        worker.fallback_window = window
+        replay = dict(worker.unckpt)
+        replay.update(worker.pending)
+        worker.unckpt = {}
+        worker.pending = {}
+        worker.sent_at = {}
+        recorded = 0
+        for seq in sorted(replay):
+            positions, batch = replay[seq]
+            if seq <= restored_seq:
+                completions = window.get(seq)
+                if completions is None:
+                    raise WorkerFailure(
+                        f"worker {worker.index}: batch {seq} is inside the "
+                        f"restored checkpoint but outside its reply window"
+                    )
+            else:
+                completions = self._fallback_execute(worker, seq, batch)
+            if results[positions[0]] is None:
+                for position, cycle in zip(positions, completions):
+                    results[position] = cycle
+                recorded += 1
+        return recorded
+
+    def _fallback_execute(
+        self, worker: _Worker, seq: int, batch: list
+    ) -> List[int]:
+        """Serve one batch on the quarantined shard's fallback backend.
+
+        Every request is padded with one dummy-path access, so fallback
+        (and probe) traffic presents the same fixed two-path shape and
+        the leaf distribution the shard exposes stays uniform.
+        """
+        backend = worker.fallback
+        health = self.health
+        completions = []
+        for addr, now, is_write in batch:
+            result = backend.demand_access(addr, now, is_write)
+            completions.append(backend.dummy_path_access(result.completion_cycle))
+            health.record_fallback(worker.index)
+        worker.fallback_seq = seq
+        worker.fallback_window[seq] = completions
+        keep = max(2 * self.max_inflight, 8)
+        for old in sorted(worker.fallback_window)[:-keep]:
+            del worker.fallback_window[old]
+        self.registry.counter(
+            f"parallel.worker{worker.index}.fallback_batches"
+        ).inc()
+        return completions
+
+    def _try_readmit(self, worker: _Worker) -> bool:
+        """Checkpoint the fallback and respawn the worker half-open.
+
+        Returns True when the worker was respawned into PROBING.  A
+        worker whose restart budget is exhausted stays on its fallback
+        permanently (degraded-but-correct beats fatal)."""
+        health = self.health
+        if worker.no_probe or not health.breakers[worker.index].ready_to_probe:
+            return False
+        if worker.restarts >= self.max_restarts:
+            worker.no_probe = True
+            self.registry.counter(
+                f"parallel.worker{worker.index}.probe_denied"
+            ).inc()
+            return False
+        from repro.oram.checkpoint import save_backend
+
+        save_backend(
+            worker.fallback,
+            self._checkpoint_path(worker.index),
+            {
+                "last_seq": worker.fallback_seq,
+                "replies": [
+                    [seq, completions]
+                    for seq, completions in sorted(worker.fallback_window.items())
+                ],
+            },
+        )
+        health.begin_probe_if_ready(worker.index)
+        worker.fallback = None
+        worker.fallback_window = {}
+        worker.restarts += 1
+        self.registry.counter(f"parallel.worker{worker.index}.restarts").inc()
+        self._spawn(worker)
+        # Probe under throttle: the shard earns full rate back only once
+        # the breaker re-admits it.
+        self._set_worker_throttle(worker, True)
+        return True
+
+    def _is_quarantined(self, worker: _Worker) -> bool:
+        return (
+            self.health is not None
+            and self.health.state(worker.index) is HealthState.QUARANTINED
+        )
+
+    def _inflight_cap(self, worker: _Worker) -> int:
+        """Pipelining depth by health state: probes go one at a time,
+        degraded workers at half rate, healthy ones at full depth."""
+        if self.health is None:
+            return self.max_inflight
+        state = self.health.state(worker.index)
+        if state is HealthState.PROBING:
+            return 1
+        if state is HealthState.DEGRADED:
+            return max(1, self.max_inflight // 2)
+        return self.max_inflight
+
+    def _pump_quarantined(
+        self, worker: _Worker, chunks, cursors, results
+    ) -> int:
+        """Advance a quarantined shard by at most one fallback batch.
+
+        One batch per pump iteration keeps the scheduler fair: the other
+        workers' queues are serviced between fallback batches.  Returns
+        the number of batches newly recorded (0 or 1)."""
+        if self._try_readmit(worker):
+            return 0
+        if cursors[worker.index] >= len(chunks):
+            return 0
+        positions, batch = chunks[cursors[worker.index]]
+        cursors[worker.index] += 1
+        seq = worker.next_seq
+        worker.next_seq += 1
+        completions = self._fallback_execute(worker, seq, batch)
+        recorded = 0
+        if results[positions[0]] is None:
+            for position, cycle in zip(positions, completions):
+                results[position] = cycle
+            recorded = 1
+        return recorded
 
     # ------------------------------------------------------------------- run
     def run(
@@ -378,9 +714,18 @@ class ParallelShardRuntime:
             progressed = False
             for worker in self._workers:
                 chunks = batches[worker.index]
+                if self._is_quarantined(worker):
+                    recorded = self._pump_quarantined(
+                        worker, chunks, cursors, results
+                    )
+                    if recorded:
+                        unrecorded -= recorded
+                        progressed = True
+                    continue
+                cap = self._inflight_cap(worker)
                 while (
                     cursors[worker.index] < len(chunks)
-                    and worker.inflight < self.max_inflight
+                    and worker.inflight < cap
                 ):
                     positions, batch = chunks[cursors[worker.index]]
                     cursors[worker.index] += 1
@@ -393,12 +738,22 @@ class ParallelShardRuntime:
                     reply = worker.replies.get_nowait()
                 except queue_module.Empty:
                     if worker.process.is_alive():
+                        if self._deadline_expired(worker):
+                            self._terminate_hung(worker)
+                            unrecorded -= self._fail_worker(
+                                worker, "hang", results
+                            )
+                            progressed = True
                         continue
                     reply = _drain_nowait(worker.replies)
                     if reply is None:
-                        self._recover(worker)
+                        unrecorded -= self._fail_worker(worker, "death", results)
                         progressed = True
                         continue
+                worker.last_progress = time.perf_counter()
+                if reply[0] == "heartbeat":
+                    progressed = True
+                    continue
                 if reply[0] == "error":
                     raise WorkerFailure(
                         f"worker {worker.index} failed: {reply[2]}"
@@ -437,17 +792,31 @@ class ParallelShardRuntime:
         snapshots: List[Optional[dict]] = [None] * self.num_workers
         fsck_failures: List[str] = []
         for worker in self._workers:
-            self._send_barrier_commands(worker, horizon, fsck)
+            if not self._is_quarantined(worker):
+                self._send_barrier_commands(worker, horizon, fsck)
         for worker in self._workers:
             while snapshots[worker.index] is None:
+                if self._is_quarantined(worker):
+                    # The shard lives in the front-end process now; the
+                    # barrier runs directly against its fallback backend.
+                    snapshots[worker.index] = self._fallback_barrier(
+                        worker, horizon, fsck, fsck_failures
+                    )
+                    break
                 try:
-                    reply = self._await_reply(worker)
-                except WorkerFailure:
-                    # Death at the barrier: heal (replaying any batches the
-                    # last checkpoint missed), then re-issue the barrier
-                    # commands the old command queue took with it.
-                    self._recover(worker)
-                    self._send_barrier_commands(worker, horizon, fsck)
+                    reply = self._await_reply(worker, deadline=True)
+                except WorkerFailure as failure:
+                    # Death (or hang) at the barrier: heal, then re-issue
+                    # the barrier commands the old command queue took with
+                    # it -- unless the health plane quarantined the shard,
+                    # in which case the loop snapshots its fallback.
+                    self._fail_worker(
+                        worker,
+                        "hang" if "hung" in str(failure) else "death",
+                        results,
+                    )
+                    if not self._is_quarantined(worker):
+                        self._send_barrier_commands(worker, horizon, fsck)
                     continue
                 if reply[0] == "error":
                     raise WorkerFailure(
@@ -471,6 +840,7 @@ class ParallelShardRuntime:
     def _send_barrier_commands(
         self, worker: _Worker, horizon: int, fsck: bool
     ) -> None:
+        worker.last_progress = time.perf_counter()
         worker.commands.put(("drain", worker.next_seq, horizon))
         worker.next_seq += 1
         if fsck:
@@ -478,6 +848,23 @@ class ParallelShardRuntime:
             worker.next_seq += 1
         worker.commands.put(("stats", worker.next_seq))
         worker.next_seq += 1
+
+    def _fallback_barrier(
+        self, worker: _Worker, horizon: int, fsck: bool, fsck_failures: List[str]
+    ) -> dict:
+        """Drain + fsck + snapshot a quarantined shard's fallback backend
+        -- the in-process mirror of the worker barrier commands."""
+        from repro.controller.sharded import snapshot_shard_stats
+
+        backend = worker.fallback
+        backend.finalize(max(horizon, backend.busy_until))
+        if fsck:
+            from repro.faults.fsck import run_fsck
+
+            report = run_fsck(backend.oram)
+            if not report.ok:
+                fsck_failures.append(report.summary())
+        return snapshot_shard_stats(backend)
 
     # ------------------------------------------------------------ inspection
     def metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
@@ -491,9 +878,29 @@ class ParallelShardRuntime:
     def total_restarts(self) -> int:
         return sum(worker.restarts for worker in self._workers)
 
+    def total_hangs(self) -> int:
+        return sum(worker.hangs for worker in self._workers)
+
+    def worker_restarts(self) -> List[int]:
+        return [worker.restarts for worker in self._workers]
+
+    def worker_hangs(self) -> List[int]:
+        return [worker.hangs for worker in self._workers]
+
     def kill_worker(self, index: int) -> None:
         """Hard-kill one worker process (fault-injection hook for tests)."""
         process = self._workers[index].process
         if process is not None and process.is_alive():
             process.terminate()
-            process.join(timeout=5)
+            process.join(timeout=self.join_timeout_s)
+
+    def hang_worker(self, index: int, seconds: float = 3600.0) -> None:
+        """Stall one worker's command loop (chaos hook).
+
+        The worker stays alive but stops serving batches and heartbeats
+        for *seconds* -- the failure mode the old runtime could only wait
+        out.  With deadline enforcement the front-end detects the silence,
+        terminates the process, and runs the recovery ladder."""
+        worker = self._workers[index]
+        if worker.process is not None and worker.process.is_alive():
+            worker.commands.put(("hang", None, seconds))

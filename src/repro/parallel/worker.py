@@ -31,6 +31,20 @@ def build_worker_backend(spec: ShardSpec):
     """Rebuild this worker's shard exactly as the serial bank would."""
     from repro.sim.system import build_shard_backend
 
+    injector = None
+    if spec.fault_config is not None:
+        from dataclasses import replace
+
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            replace(
+                spec.fault_config,
+                seed=spec.fault_config.seed
+                + 1009 * spec.shard_index
+                + 31 * spec.rng_restart_salt,
+            )
+        )
     return build_shard_backend(
         spec.base_scheme,
         spec.footprint_blocks,
@@ -38,6 +52,7 @@ def build_worker_backend(spec: ShardSpec):
         spec.shard_index,
         spec.num_shards,
         static_sbsize=spec.static_sbsize,
+        fault_injector=injector,
         rng_restart_salt=spec.rng_restart_salt,
     )
 
@@ -103,10 +118,22 @@ def shard_worker_main(spec: ShardSpec, commands, replies) -> None:
                             )
                         )
                     continue
-                completions = [
-                    backend.demand_access(addr, now, is_write).completion_cycle
-                    for addr, now, is_write in batch
-                ]
+                completions = []
+                for addr, now, is_write in batch:
+                    completions.append(
+                        backend.demand_access(addr, now, is_write).completion_cycle
+                    )
+                    # Mid-batch liveness proof: under deadline enforcement
+                    # the front-end must tell "slow" from "hung", and the
+                    # only evidence that crosses the process boundary is a
+                    # reply.  The final completion is announced by
+                    # batch_done itself, so no heartbeat follows it.
+                    if (
+                        spec.heartbeat_every
+                        and len(completions) % spec.heartbeat_every == 0
+                        and len(completions) < len(batch)
+                    ):
+                        replies.put(("heartbeat", seq, len(completions)))
                 last_seq = seq
                 window.append([seq, completions])
                 del window[: -max(spec.replay_window, 1)]
@@ -133,6 +160,18 @@ def shard_worker_main(spec: ShardSpec, commands, replies) -> None:
                 if spec.checkpoint_path:
                     checkpointed_seq = _checkpoint(backend, spec, last_seq, window)
                 replies.put(("checkpoint_done", seq, checkpointed_seq))
+            elif op == "throttle":
+                # Degraded-mode switch from the front-end's breaker: no
+                # reply, so it never perturbs the seq/ack bookkeeping.
+                backend.set_degraded(bool(command[2]))
+            elif op == "hang":
+                # Chaos hook: stall the command loop without dying.  The
+                # batches queued behind this command stop being served,
+                # which is exactly the failure deadline enforcement must
+                # catch (a kill is detectable by liveness; a hang is not).
+                import time
+
+                time.sleep(command[2])
             else:
                 replies.put(("error", seq, f"unknown command {op!r}"))
         except Exception:

@@ -82,6 +82,7 @@ class SecureSystem:
         fault_injector=None,
         resilience=None,
         num_shards: int = 1,
+        health_policy=None,
     ) -> "SecureSystem":
         """Assemble a system for one of the paper's configurations.
 
@@ -116,6 +117,10 @@ class SecureSystem:
                 (:class:`~repro.controller.sharded.ShardedORAMBank`).
                 The default ``1`` builds the plain single-controller
                 backend -- bit-identical to the pre-sharding simulator.
+            health_policy: optional :class:`repro.health.HealthPolicy`;
+                attaches a per-shard circuit-breaker control plane to the
+                sharded bank (requires ``num_shards > 1``).  ``None``
+                (the default) leaves the access path untouched.
         """
         config = config or SystemConfig()
         rng = DeterministicRng(config.seed)
@@ -140,6 +145,12 @@ class SecureSystem:
 
         if num_shards < 1:
             raise ValueError("need at least one shard")
+        if health_policy is not None and num_shards == 1:
+            raise ValueError(
+                "the health control plane wraps sharded banks; use "
+                "num_shards > 1 (a single controller has no quarantine "
+                "fallback to route through)"
+            )
         if base_scheme == "dram":
             if periodic:
                 raise ValueError("periodic accesses only apply to ORAM backends")
@@ -177,6 +188,12 @@ class SecureSystem:
                 for index in range(num_shards)
             ]
             bank = ShardedORAMBank(shards)
+            if health_policy is not None:
+                from repro.health import HealthControlPlane
+
+                bank.attach_health(
+                    HealthControlPlane(num_shards, health_policy)
+                )
             return cls(config, bank, label=scheme, prefetcher=prefetcher)
 
         sb_scheme = cls._make_scheme(base_scheme, config, policy, static_sbsize)
