@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast profile shards parallel trace soak chaos examples gallery audit clean
+.PHONY: install test bench bench-fast profile shards parallel interconnect trace soak chaos examples gallery audit clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -30,6 +30,10 @@ shards:
 parallel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py
 	PYTHONPATH=src $(PYTHON) -m repro parallel -w locality:80 -s dyn --parallel-workers 4 --accesses 8000 --fsck
+
+interconnect:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_interconnect.py
+	PYTHONPATH=src $(PYTHON) -m repro run -w locality:80 -s dyn --accesses 20000 --warmup 0 --dram-model channel --channels 4
 
 trace:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trace_overhead.py

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.analysis.experiments import experiment_config, run_schemes
@@ -152,14 +153,37 @@ def _trace_out_path(template: str, scheme: str, schemes: List[str]) -> str:
     return f"{stem}.{scheme}.{suffix}"
 
 
+def _dram_config(args, config):
+    """Apply ``--dram-model`` / ``--channels`` to an experiment config."""
+    model = getattr(args, "dram_model", None)
+    channels = getattr(args, "channels", None)
+    if model is None and channels is None:
+        return config
+    if channels is not None and model is None:
+        model = "channel"  # --channels alone selects the channel model
+    if channels is None:
+        channels = 4 if model == "channel" else 1
+    if channels < 1:
+        raise SystemExit("--channels must be at least 1")
+    return replace(
+        config, dram=replace(config.dram, model=model, num_channels=channels)
+    )
+
+
 def cmd_run(args) -> int:
     trace = build_trace(args.workload, args.accesses, seed=args.seed)
     schemes = _parse_schemes(args.schemes)
     shards = getattr(args, "shards", 1)
+    config = _dram_config(args, experiment_config())
     print(
         f"{trace.name}: {len(trace)} references over {trace.footprint_blocks} "
         f"blocks ({trace.write_fraction:.0%} writes)"
         + (f", {shards}-shard ORAM bank" if shards != 1 else "")
+        + (
+            f", {config.dram.num_channels}-channel DRAM"
+            if config.dram.model == "channel"
+            else ""
+        )
     )
     profilers = {}
     recorders = {}
@@ -188,7 +212,7 @@ def cmd_run(args) -> int:
     results = run_schemes(
         trace,
         schemes,
-        config=experiment_config(),
+        config=config,
         warmup_fraction=args.warmup,
         system_hook=system_hook,
         build_kwargs=_run_build_kwargs(args),
@@ -216,6 +240,30 @@ def cmd_run(args) -> int:
             rows,
         )
     )
+    if config.dram.model == "channel":
+        print(f"\nchannel interconnect ({config.dram.num_channels} channels):")
+        channel_rows = []
+        for scheme in schemes:
+            r = results[scheme]
+            if "interconnect_streamed_paths" not in r.extra:
+                continue  # DRAM baselines have no ORAM interconnect
+            channel_rows.append(
+                [
+                    scheme,
+                    int(r.extra["interconnect_streamed_paths"]),
+                    int(r.extra["interconnect_untracked_paths"]),
+                    int(r.extra["interconnect_row_hits"]),
+                    int(r.extra["interconnect_row_misses"]),
+                    int(r.extra["interconnect_bank_wait_cycles"]),
+                ]
+            )
+        print(
+            format_table(
+                ["scheme", "streamed", "untracked", "row_hits",
+                 "row_misses", "bank_wait_cyc"],
+                channel_rows,
+            )
+        )
     if faults_on is not None:
         print("\nfault injection (seed %d):" % args.fault_seed)
         fault_rows = []
@@ -435,11 +483,16 @@ def cmd_parallel(args) -> int:
 
     trace = build_trace(args.workload, args.accesses, seed=args.seed)
     requests = requests_from_trace(trace)
-    config = experiment_config()
+    config = _dram_config(args, experiment_config())
     workers = args.parallel_workers
     print(
         f"{trace.name}: {len(requests)} demand requests over "
         f"{trace.footprint_blocks} blocks, {workers}-worker parallel bank"
+        + (
+            f", {config.dram.num_channels}-channel DRAM"
+            if config.dram.model == "channel"
+            else ""
+        )
     )
     begin = time.perf_counter()
     serial = run_serial_reference(
@@ -594,6 +647,22 @@ def make_parser() -> argparse.ArgumentParser:
         help="write a per-access span trace (JSONL) per ORAM scheme; "
         "multi-scheme runs insert the scheme name before the suffix",
     )
+    run_p.add_argument(
+        "--dram-model",
+        choices=["flat", "channel"],
+        default=None,
+        help="memory interconnect: 'flat' (the paper's scalar path cost, "
+        "default) or 'channel' (stream each path's buckets over "
+        "channel/bank-aware DRAM)",
+    )
+    run_p.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        metavar="N",
+        help="DRAM channels for the channel interconnect (implies "
+        "--dram-model channel; bandwidth_gbps is per channel)",
+    )
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="parameter sweeps (locality/stash/z)")
@@ -672,6 +741,19 @@ def make_parser() -> argparse.ArgumentParser:
         metavar="KEY=VAL[,...]",
         help="supervise workers with per-shard circuit breakers "
         "(heartbeats, deadlines, quarantine fallback); see DESIGN.md §10",
+    )
+    parallel_p.add_argument(
+        "--dram-model",
+        choices=["flat", "channel"],
+        default=None,
+        help="memory interconnect inside each worker's shard (see `run`)",
+    )
+    parallel_p.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        metavar="N",
+        help="DRAM channels per shard (implies --dram-model channel)",
     )
     parallel_p.set_defaults(func=cmd_parallel)
 

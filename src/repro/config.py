@@ -144,20 +144,61 @@ class CacheConfig:
 
 @dataclass(frozen=True)
 class DRAMConfig:
-    """Insecure-baseline DRAM model (Table 1).
+    """DRAM model (Table 1) plus the pluggable interconnect knobs.
 
     The paper models DRAM as a flat ``latency_cycles`` access bounded by pin
     bandwidth; bank-level parallelism lets independent requests overlap.
+    ``model`` selects how ORAM path accesses are timed:
+
+    * ``"flat"`` (default, the paper's model): one scalar ``path_cycles``
+      per path access -- a single access saturates the pin bandwidth.
+    * ``"channel"``: the path's buckets are laid out across
+      ``num_channels`` independent channels (subtree-to-channel tiling,
+      see DESIGN.md section 11) and streamed through a per-channel
+      bank/row scheduler.  ``bandwidth_gbps`` is then *per-channel* pin
+      bandwidth, so channels multiply aggregate bandwidth.
+
+    ``page_policy`` applies to the channel model only: ``"open"`` leaves
+    rows open so consecutive hits pay ``row_hit_latency_cycles``
+    (default ``latency_cycles // 2``); ``"closed"`` precharges after
+    every access, so every array access pays the full latency.
+    ``subtree_levels`` is the height of the layout's subtree tiles.
     """
 
     bandwidth_gbps: float = 16.0
     latency_cycles: int = 100
     num_banks: int = 8
+    model: str = "flat"
+    num_channels: int = 1
+    page_policy: str = "open"
+    row_hit_latency_cycles: int = 0
+    subtree_levels: int = 2
+
+    def __post_init__(self) -> None:
+        if self.model not in ("flat", "channel"):
+            raise ValueError("DRAM model must be 'flat' or 'channel'")
+        if self.page_policy not in ("open", "closed"):
+            raise ValueError("page policy must be 'open' or 'closed'")
+        if self.num_channels < 1:
+            raise ValueError("need at least one DRAM channel")
+        if self.num_banks < 1:
+            raise ValueError("need at least one DRAM bank")
+        if self.subtree_levels < 1:
+            raise ValueError("subtree tiles must be at least one level tall")
+        if self.row_hit_latency_cycles < 0:
+            raise ValueError("row hit latency cannot be negative")
 
     @property
     def bytes_per_cycle(self) -> float:
-        """Pin bandwidth in bytes per core cycle at 1 GHz."""
+        """Per-channel pin bandwidth in bytes per core cycle at 1 GHz."""
         return self.bandwidth_gbps * 1e9 / CLOCK_HZ
+
+    @property
+    def row_hit_cycles(self) -> int:
+        """Effective open-page row-hit latency (0 means latency/2)."""
+        if self.row_hit_latency_cycles:
+            return self.row_hit_latency_cycles
+        return max(1, self.latency_cycles // 2)
 
 
 @dataclass(frozen=True)

@@ -45,6 +45,8 @@ class AccessContext:
         "members",
         "blocks",
         "outcome",
+        "leaf",
+        "streamed_cycles",
     )
 
     def __init__(self, addr: int, start: int, run_scheme: bool):
@@ -57,6 +59,8 @@ class AccessContext:
         self.members: Tuple[int, ...] = ()
         self.blocks: Any = None
         self.outcome: Any = None
+        self.leaf = 0  # path the demand access read (streamed by the interconnect)
+        self.streamed_cycles = 0  # interconnect completion - issue of the path read
 
 
 class PosMapPhase:
@@ -79,8 +83,10 @@ class PosMapPhase:
 
     def cycles(self, backend, ctx: AccessContext) -> int:
         # Each posmap hierarchy miss is a full path access on the smaller
-        # trees, modeled at the same path cost (section 2.3).
-        return ctx.extra * backend.timing.path_cycles
+        # trees, modeled at the public per-path cost (section 2.3) -- the
+        # walk's leaves are part of the recursion's access pattern, so it
+        # is never streamed through the leaf-aware scheduler.
+        return ctx.extra * backend.interconnect.path_cycles
 
 
 class PathReadPhase:
@@ -91,9 +97,19 @@ class PathReadPhase:
     def run(self, backend, ctx: AccessContext) -> None:
         ctx.members = backend.scheme.members_for(ctx.addr)
         ctx.blocks = backend.oram.begin_access(ctx.members)
+        # begin_access parked the read path's leaf for the write-back;
+        # that same leaf is the bucket stream the interconnect times.
+        ctx.leaf = backend.oram._pending_writeback
 
     def cycles(self, backend, ctx: AccessContext) -> int:
-        return backend.timing.path_cycles
+        # The demand path is the one access the interconnect streams
+        # bucket-by-bucket: it issues after the serialized background
+        # evictions and PosMap paths, and its read + write-back share one
+        # full-path pass.  The flat model returns exactly path_cycles.
+        interconnect = backend.interconnect
+        issue = ctx.start + (ctx.evictions + ctx.extra) * interconnect.path_cycles
+        ctx.streamed_cycles = interconnect.path_completion(ctx.leaf, issue) - issue
+        return ctx.streamed_cycles
 
 
 class RemapPhase:
@@ -139,8 +155,9 @@ class WritebackPhase:
         # The demand path's write-back shares its path access with the
         # read (one full-path R/W); what this phase owns in the latency
         # formula is the background evictions drained up front -- each a
-        # full dummy path access (section 2.4).
-        return ctx.evictions * backend.timing.path_cycles
+        # full dummy path access (section 2.4) charged at the public
+        # per-path cost (their leaves are uniform draws, never streamed).
+        return ctx.evictions * backend.interconnect.path_cycles
 
 
 #: The canonical phase order of one oblivious access.
@@ -197,9 +214,18 @@ class AccessPipeline:
         self.requests += 1
         # ----------------------------------------------------------- timing
         stats = backend.stats
-        path_accesses = ctx.evictions + ctx.extra + 1
-        # timing.access_cycles inlined: a constant multiply per access.
-        latency = path_accesses * backend.timing.path_cycles + ctx.fault_delay
+        interconnect = backend.interconnect
+        serialized = ctx.evictions + ctx.extra
+        if serialized:
+            interconnect.note_untracked(serialized)
+        # Serialized dummy/PosMap paths at the public per-path cost, then
+        # the streamed demand path (PathReadPhase recorded its cycles);
+        # under the flat model this is the pre-refactor constant multiply.
+        latency = (
+            serialized * interconnect.path_cycles
+            + ctx.streamed_cycles
+            + ctx.fault_delay
+        )
         completion = start + latency
         backend.busy_until = completion
         stats.memory_accesses += ctx.extra + 1

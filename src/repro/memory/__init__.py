@@ -2,16 +2,26 @@
 
 from repro.memory.backend import BackendStats, DemandResult, MemoryBackend
 from repro.memory.dram import DRAMBackend
+from repro.memory.interconnect import (
+    ChannelInterconnect,
+    FlatInterconnect,
+    MemoryInterconnect,
+    build_interconnect,
+)
 from repro.memory.oram_backend import ORAMBackend
 from repro.memory.periodic import PeriodicORAMBackend
 from repro.memory.timing import ORAMTimingModel
 
 __all__ = [
     "BackendStats",
+    "ChannelInterconnect",
     "DRAMBackend",
     "DemandResult",
+    "FlatInterconnect",
     "MemoryBackend",
+    "MemoryInterconnect",
     "ORAMBackend",
     "ORAMTimingModel",
     "PeriodicORAMBackend",
+    "build_interconnect",
 ]

@@ -13,11 +13,11 @@ prefetching works on DRAM and not on ORAM (section 3.1).
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional
 
 from repro.config import DRAMConfig
 from repro.memory.backend import DemandResult, MemoryBackend
+from repro.memory.timing import transfer_cycles
 
 
 class DRAMBackend(MemoryBackend):
@@ -27,7 +27,7 @@ class DRAMBackend(MemoryBackend):
         super().__init__()
         self.config = config
         self.block_bytes = block_bytes
-        self.transfer_cycles = max(1, int(math.ceil(block_bytes / config.bytes_per_cycle)))
+        self.transfer_cycles = transfer_cycles(config, block_bytes)
         self._bank_free: List[int] = [0] * config.num_banks
         self._bus_free = 0
 
@@ -63,9 +63,14 @@ class DRAMBackend(MemoryBackend):
         return DemandResult(completion_cycle=completion, filled=[(addr, True)])
 
     def evict_line(self, addr: int, dirty: bool, now: int) -> None:
-        """Dirty write-backs consume bus bandwidth but never stall the core."""
+        """Dirty write-backs consume bandwidth but never stall the core.
+
+        The write-back goes through the same bank/bus scheduler as demand
+        and prefetch traffic -- it occupies the victim line's bank for an
+        array access and the pins for one line transfer.  (It used to bump
+        only ``_bus_free``, so bank-occupancy accounting disagreed with
+        the demand path's.)
+        """
         if dirty:
             self.stats.write_accesses += 1
-            self.stats.memory_accesses += 1
-            self._bus_free = max(self._bus_free, now) + self.transfer_cycles
-            self.stats.busy_cycles += self.transfer_cycles
+            self._schedule(addr, now)

@@ -1,0 +1,409 @@
+"""Pluggable memory interconnect: how a path access turns into cycles.
+
+The paper times ORAM with a flat analytic model -- "a single ORAM access
+saturates the available DRAM bandwidth", so every path access costs the
+same ``path_cycles`` scalar (section 5.1).  That scalar used to be
+multiplied directly inside the access pipeline, which made it impossible
+to model intra-path memory parallelism.  This module turns the scalar
+into a subsystem:
+
+* :class:`FlatInterconnect` is the paper's model, bit-for-bit: every
+  path access completes ``path_cycles`` after it issues, regardless of
+  which leaf it touches.  It is the default and keeps the golden
+  ``SimResult`` identical.
+* :class:`ChannelInterconnect` streams a path's buckets over
+  ``num_channels`` independent DRAM channels using the subtree-to-channel
+  :class:`~repro.oram.tree.PhysicalLayout`.  Each channel runs a small
+  bank/row scheduler (a generalization of ``DRAMBackend._schedule``):
+  array accesses serialize per bank, open rows discount repeat hits, and
+  each channel's data bus carries that channel's share of the path.  The
+  path completes when the slowest channel finishes, so aggregate
+  bandwidth -- and therefore path latency -- scales with channel count.
+
+Obliviousness note: the *public* per-path cost (``path_cycles``, used for
+the periodic grid, PosMap walk charges, background evictions, and
+prefetch backpressure) stays data-independent in both models.  Only the
+streamed completion of the channel model varies with the accessed leaf,
+and the periodic backend's whole-period slot quantization keeps that
+variation off the public timing grid (DESIGN.md section 11).
+
+Degenerate equivalence (property-tested): one channel, more banks than
+subtrees, and a closed page policy make :class:`ChannelInterconnect`
+reproduce :class:`FlatInterconnect` exactly -- every array access pays
+the full latency, bucket bursts coalesce into one bus reservation of
+``ceil(path_bytes / bytes_per_cycle)`` cycles, and the single channel
+serializes just like the flat model's saturated pin interface.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import DRAMConfig, ORAMConfig
+from repro.memory.timing import ORAMTimingModel, transfer_cycles
+from repro.observability.metrics import MetricsRegistry
+from repro.oram.tree import PhysicalLayout
+
+
+class MemoryInterconnect:
+    """Protocol between the ORAM controller and the physical memory.
+
+    Attributes:
+        model: the config string selecting this implementation.
+        path_cycles: the **public** cost of one path access -- the value
+            used wherever timing must stay data-independent (periodic
+            slot grid, PosMap recursion charges, background evictions,
+            dummy accesses, prefetch backpressure).
+        bytes_per_path: total bytes moved by one path access (read +
+            write-back of every bucket).
+    """
+
+    model = "abstract"
+
+    path_cycles: int
+    bytes_per_path: int
+
+    def path_completion(self, leaf: int, start: int) -> int:
+        """Completion cycle of a path access to ``leaf`` issued at ``start``."""
+        raise NotImplementedError
+
+    def note_untracked(self, count: int) -> None:
+        """Record ``count`` path accesses charged at the public nominal cost
+        without streaming (PosMap walk, evictions, dummies)."""
+        raise NotImplementedError
+
+    def summary(self) -> Dict[str, int]:
+        """Scalar counters for ``SimResult.extra``."""
+        raise NotImplementedError
+
+    def to_registry(
+        self, registry: MetricsRegistry, prefix: str = "interconnect"
+    ) -> None:
+        """Export occupancy gauges / counters under ``{prefix}.*``."""
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable scheduler state for checkpointing."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore scheduler state captured by :meth:`state_dict`."""
+
+
+class FlatInterconnect(MemoryInterconnect):
+    """The paper's flat model: every path access costs ``path_cycles``."""
+
+    model = "flat"
+
+    def __init__(self, oram: ORAMConfig, dram: DRAMConfig):
+        timing = ORAMTimingModel.from_config(oram, dram)
+        self.path_cycles = timing.path_cycles
+        self.bytes_per_path = timing.bytes_per_path
+        self.streamed_paths = 0
+        self.untracked_paths = 0
+
+    def path_completion(self, leaf: int, start: int) -> int:
+        self.streamed_paths += 1
+        return start + self.path_cycles
+
+    def note_untracked(self, count: int) -> None:
+        self.untracked_paths += count
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "channels": 1,
+            "streamed_paths": self.streamed_paths,
+            "untracked_paths": self.untracked_paths,
+        }
+
+    def to_registry(
+        self, registry: MetricsRegistry, prefix: str = "interconnect"
+    ) -> None:
+        registry.gauge(f"{prefix}.path_cycles").set(self.path_cycles)
+        registry.counter(f"{prefix}.streamed_paths").set(self.streamed_paths)
+        registry.counter(f"{prefix}.untracked_paths").set(self.untracked_paths)
+
+
+class ChannelState:
+    """One DRAM channel: per-bank timing, open-row tracking, a data bus.
+
+    The scheduling rules generalize ``DRAMBackend._schedule``:
+
+    * an array access to a bank must wait for that bank's previous access
+      (``bank_free``), then occupies the bank for the access latency --
+      the full ``latency_cycles`` on a row miss (or under a closed page
+      policy), the discounted ``row_hit_cycles`` when the open-page
+      policy finds the row already open;
+    * the channel's data bus is a single shared resource: each burst
+      waits for the bus to drain (``bus_free``) and then occupies it for
+      the transfer time.
+
+    Bank state is kept in dicts keyed by bank index, so "more banks than
+    subtrees" configurations (the degenerate-equivalence tests) cost
+    nothing.
+    """
+
+    __slots__ = (
+        "latency_cycles",
+        "row_hit_cycles",
+        "open_page",
+        "bank_free",
+        "open_row",
+        "bus_free",
+        "requests",
+        "row_hits",
+        "row_misses",
+        "bytes_moved",
+        "busy_cycles",
+        "bank_wait_cycles",
+    )
+
+    def __init__(self, dram: DRAMConfig):
+        self.latency_cycles = dram.latency_cycles
+        self.row_hit_cycles = dram.row_hit_cycles
+        self.open_page = dram.page_policy == "open"
+        self.bank_free: Dict[int, int] = {}
+        self.open_row: Dict[int, int] = {}
+        self.bus_free = 0
+        self.requests = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.bytes_moved = 0
+        self.busy_cycles = 0
+        self.bank_wait_cycles = 0
+
+    def array_access(self, bank: int, row: int, now: int) -> int:
+        """Issue one array access; returns when its data is ready."""
+        ready = self.bank_free.get(bank, 0)
+        start = ready if ready > now else now
+        self.bank_wait_cycles += start - now
+        if self.open_page and self.open_row.get(bank) == row:
+            latency = self.row_hit_cycles
+            self.row_hits += 1
+        else:
+            latency = self.latency_cycles
+            self.row_misses += 1
+        done = start + latency
+        self.bank_free[bank] = done
+        if self.open_page:
+            self.open_row[bank] = row
+        self.requests += 1
+        return done
+
+    def reserve_bus(self, ready: int, cycles: int, nbytes: int) -> int:
+        """Stream ``nbytes`` over the data bus once data is ``ready``."""
+        start = self.bus_free if self.bus_free > ready else ready
+        self.bus_free = start + cycles
+        self.busy_cycles += cycles
+        self.bytes_moved += nbytes
+        return self.bus_free
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "bus_free": self.bus_free,
+            "bank_free": {str(k): v for k, v in self.bank_free.items()},
+            "open_row": {str(k): v for k, v in self.open_row.items()},
+            "requests": self.requests,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "bytes_moved": self.bytes_moved,
+            "busy_cycles": self.busy_cycles,
+            "bank_wait_cycles": self.bank_wait_cycles,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.bus_free = int(state["bus_free"])
+        self.bank_free = {int(k): int(v) for k, v in state["bank_free"].items()}
+        self.open_row = {int(k): int(v) for k, v in state["open_row"].items()}
+        self.requests = int(state["requests"])
+        self.row_hits = int(state["row_hits"])
+        self.row_misses = int(state["row_misses"])
+        self.bytes_moved = int(state["bytes_moved"])
+        self.busy_cycles = int(state["busy_cycles"])
+        self.bank_wait_cycles = int(state["bank_wait_cycles"])
+
+
+class ChannelInterconnect(MemoryInterconnect):
+    """Bucket-level path streaming over channel/bank-aware DRAM.
+
+    A path access to functional leaf ``s`` is embedded into the nominal
+    tree (``nominal_leaf = s << (nominal_levels - levels)``), its buckets
+    mapped through the :class:`PhysicalLayout`, consecutive buckets in
+    the same subtree tile coalesced into one array access, and the
+    resulting per-channel request streams issued concurrently at
+    ``start``.  The access completes when every channel has delivered
+    its share (each bucket is both read and written back, so a bucket
+    contributes ``2 * Z * block_bytes`` to its channel's burst).
+
+    ``bandwidth_gbps`` is per-channel pin bandwidth: the aggregate bus
+    capacity grows with ``num_channels``, which is where the path-latency
+    reduction comes from.  ``path_cycles`` (the public cost) is the
+    idle-memory completion of a perfectly balanced path:
+    ``latency + ceil(path_bytes / (C * bytes_per_cycle))`` -- at one
+    channel this equals the flat model's scalar exactly.
+    """
+
+    model = "channel"
+
+    def __init__(self, oram: ORAMConfig, dram: DRAMConfig):
+        self.dram = dram
+        levels = oram.nominal_levels
+        self.layout = PhysicalLayout(
+            levels=levels,
+            num_channels=dram.num_channels,
+            num_banks=dram.num_banks,
+            subtree_levels=dram.subtree_levels,
+        )
+        self._leaf_shift = max(0, levels - oram.levels)
+        #: bytes moved per bucket: Z blocks, read + write-back
+        self.bucket_bytes = oram.bucket_size * oram.block_bytes * 2
+        self.bytes_per_path = (levels + 1) * self.bucket_bytes
+        self.num_channels = dram.num_channels
+        self.path_cycles = dram.latency_cycles + int(
+            math.ceil(self.bytes_per_path / (dram.num_channels * dram.bytes_per_cycle))
+        )
+        self.channels = [ChannelState(dram) for _ in range(dram.num_channels)]
+        self.streamed_paths = 0
+        self.untracked_paths = 0
+        self.streamed_cycles_total = 0
+        self.last_completion = 0
+        # leaf -> ((channel, ((bank, row), ...), transfer_cycles, bytes), ...)
+        self._plans: Dict[
+            int, Tuple[Tuple[int, Tuple[Tuple[int, int], ...], int, int], ...]
+        ] = {}
+
+    def _plan(
+        self, leaf: int
+    ) -> Tuple[Tuple[int, Tuple[Tuple[int, int], ...], int, int], ...]:
+        """Per-channel request streams for the path to a functional leaf."""
+        plan = self._plans.get(leaf)
+        if plan is not None:
+            return plan
+        nominal_leaf = leaf << self._leaf_shift
+        accesses: Dict[int, List[Tuple[int, int]]] = {}
+        path_bytes: Dict[int, int] = {}
+        for address in self.layout.path_addresses(nominal_leaf):
+            requests = accesses.setdefault(address.channel, [])
+            # Buckets in the same subtree tile share a (bank, row): one
+            # row activation streams the whole tile segment.
+            if not requests or requests[-1] != (address.bank, address.row):
+                requests.append((address.bank, address.row))
+            path_bytes[address.channel] = (
+                path_bytes.get(address.channel, 0) + self.bucket_bytes
+            )
+        plan = tuple(
+            (
+                channel,
+                tuple(requests),
+                transfer_cycles(self.dram, path_bytes[channel]),
+                path_bytes[channel],
+            )
+            for channel, requests in sorted(accesses.items())
+        )
+        self._plans[leaf] = plan
+        return plan
+
+    def path_completion(self, leaf: int, start: int) -> int:
+        completion = start
+        for channel_index, requests, cycles, nbytes in self._plan(leaf):
+            state = self.channels[channel_index]
+            first_ready = 0
+            last_ready = 0
+            for bank, row in requests:
+                done = state.array_access(bank, row, start)
+                if not first_ready:
+                    first_ready = done
+                if done > last_ready:
+                    last_ready = done
+            # The burst streams behind the first activation's data but
+            # cannot finish before the last bank has delivered.
+            bus_done = state.reserve_bus(first_ready, cycles, nbytes)
+            channel_done = bus_done if bus_done > last_ready else last_ready
+            if channel_done > completion:
+                completion = channel_done
+        self.streamed_paths += 1
+        self.streamed_cycles_total += completion - start
+        if completion > self.last_completion:
+            self.last_completion = completion
+        return completion
+
+    def note_untracked(self, count: int) -> None:
+        self.untracked_paths += count
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "channels": self.num_channels,
+            "streamed_paths": self.streamed_paths,
+            "untracked_paths": self.untracked_paths,
+            "streamed_cycles": self.streamed_cycles_total,
+            "row_hits": sum(c.row_hits for c in self.channels),
+            "row_misses": sum(c.row_misses for c in self.channels),
+            "bank_wait_cycles": sum(c.bank_wait_cycles for c in self.channels),
+        }
+
+    def to_registry(
+        self, registry: MetricsRegistry, prefix: str = "interconnect"
+    ) -> None:
+        registry.gauge(f"{prefix}.path_cycles").set(self.path_cycles)
+        registry.gauge(f"{prefix}.num_channels").set(self.num_channels)
+        registry.counter(f"{prefix}.streamed_paths").set(self.streamed_paths)
+        registry.counter(f"{prefix}.untracked_paths").set(self.untracked_paths)
+        if self.streamed_paths:
+            registry.histogram(f"{prefix}.path_stream_cycles").record(
+                self.streamed_cycles_total // self.streamed_paths
+            )
+        horizon = self.last_completion
+        for index, channel in enumerate(self.channels):
+            name = f"{prefix}.channel{index}"
+            registry.counter(f"{name}.requests").set(channel.requests)
+            registry.counter(f"{name}.row_hits").set(channel.row_hits)
+            registry.counter(f"{name}.row_misses").set(channel.row_misses)
+            registry.counter(f"{name}.bytes_moved").set(channel.bytes_moved)
+            registry.counter(f"{name}.busy_cycles").set(channel.busy_cycles)
+            registry.counter(f"{name}.bank_wait_cycles").set(
+                channel.bank_wait_cycles
+            )
+            occupancy = channel.busy_cycles / horizon if horizon else 0.0
+            registry.gauge(f"{name}.bus_occupancy_pct").set(
+                round(100.0 * occupancy, 3)
+            )
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "streamed_paths": self.streamed_paths,
+            "untracked_paths": self.untracked_paths,
+            "streamed_cycles_total": self.streamed_cycles_total,
+            "last_completion": self.last_completion,
+            "channels": [channel.state_dict() for channel in self.channels],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        saved = state.get("channels", [])
+        if len(saved) != len(self.channels):
+            raise ValueError(
+                f"checkpoint has {len(saved)} channels, config has "
+                f"{len(self.channels)}"
+            )
+        self.streamed_paths = int(state["streamed_paths"])
+        self.untracked_paths = int(state["untracked_paths"])
+        self.streamed_cycles_total = int(state["streamed_cycles_total"])
+        self.last_completion = int(state["last_completion"])
+        for channel, channel_state in zip(self.channels, saved):
+            channel.load_state_dict(channel_state)
+
+
+def build_interconnect(
+    oram: ORAMConfig, dram: DRAMConfig, model: Optional[str] = None
+) -> MemoryInterconnect:
+    """Instantiate the interconnect selected by ``dram.model``.
+
+    ``model`` overrides the config string (the CLI passes the parsed
+    ``--dram-model`` through here).
+    """
+    selected = model if model is not None else dram.model
+    if selected == "flat":
+        return FlatInterconnect(oram, dram)
+    if selected == "channel":
+        return ChannelInterconnect(oram, dram)
+    raise ValueError(f"unknown DRAM model {selected!r}")

@@ -27,6 +27,7 @@ from repro.config import DRAMConfig, ORAMConfig
 from repro.controller.pipeline import AccessPipeline
 from repro.faults.injector import TransientReadError
 from repro.memory.backend import DemandResult, MemoryBackend
+from repro.memory.interconnect import build_interconnect
 from repro.memory.timing import ORAMTimingModel
 from repro.oram.path_oram import PathORAM
 from repro.oram.recursion import PosMapHierarchy
@@ -76,6 +77,10 @@ class ORAMBackend(MemoryBackend):
         self.config = oram_config
         self.scheme = scheme
         self.timing = ORAMTimingModel.from_config(oram_config, dram_config)
+        #: pluggable memory interconnect: the flat default reproduces
+        #: ``self.timing`` exactly; the channel model streams each path's
+        #: buckets across DRAM channels (DESIGN.md section 11)
+        self.interconnect = build_interconnect(oram_config, dram_config)
         self.oram = PathORAM(oram_config, rng, observer=observer, populate=False)
         self.posmap_hierarchy = PosMapHierarchy(
             num_hierarchies=oram_config.num_hierarchies,
@@ -178,9 +183,14 @@ class ORAMBackend(MemoryBackend):
         self.oram.dummy_access(kind="padding")
         self.stats.dummy_accesses += 1
         self.stats.memory_accesses += 1
-        completion = start + self.timing.path_cycles
+        # Padding must look identical to every other dummy: charged at
+        # the public per-path cost, never streamed through the leaf-aware
+        # scheduler (its leaf is secret by construction).
+        path_cycles = self.interconnect.path_cycles
+        self.interconnect.note_untracked(1)
+        completion = start + path_cycles
         self.busy_until = completion
-        self.stats.busy_cycles += self.timing.path_cycles
+        self.stats.busy_cycles += path_cycles
         return completion
 
     # ------------------------------------------------------- fault resilience
@@ -288,7 +298,7 @@ class ORAMBackend(MemoryBackend):
             # Health-plane degraded mode: shed prefetches before they
             # occupy the controller (demand traffic keeps its slot).
             return None
-        if self.busy_until > now + self.timing.path_cycles:
+        if self.busy_until > now + self.interconnect.path_cycles:
             return None
         if not 0 <= addr < self.oram.position_map.num_blocks:
             return None

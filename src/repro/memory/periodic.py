@@ -70,8 +70,13 @@ class PeriodicORAMBackend(ORAMBackend):
         if timing_protection.interval_cycles < 0:
             raise ValueError("Oint must be non-negative")
         self.interval = timing_protection.interval_cycles
-        #: the public schedule period: one path access plus the idle gap
-        self._period = self.timing.path_cycles + self.interval
+        #: the public schedule period: one path access plus the idle gap.
+        #: Derived from the interconnect's *public* per-path cost -- a
+        #: config constant in both models -- so the grid itself leaks
+        #: nothing; streamed completions that run long simply skip to a
+        #: later grid point (whole-period quantization hides the
+        #: sub-period, leaf-dependent variation of the channel model).
+        self._period = self.interconnect.path_cycles + self.interval
         #: cycle at which the next scheduled access slot begins; only ever
         #: advanced by whole periods, so every slot is on the grid
         self._next_slot = 0
@@ -96,7 +101,7 @@ class PeriodicORAMBackend(ORAMBackend):
 
     def _advance_to(self, now: int) -> None:
         """Fire the dummy accesses for every slot that elapsed unused."""
-        path = self.timing.path_cycles
+        path = self.interconnect.path_cycles
         functional_budget = self.MAX_FUNCTIONAL_DUMMIES_PER_GAP
         while self._next_slot + path <= now:
             # A slot came and went with no pending request: dummy access.

@@ -24,6 +24,16 @@ from dataclasses import dataclass
 from repro.config import DRAMConfig, ORAMConfig
 
 
+def transfer_cycles(dram: DRAMConfig, nbytes: int) -> int:
+    """Cycles to move ``nbytes`` over one channel's pins (at least one).
+
+    Every timing consumer (the flat path model, the insecure DRAM
+    backend, the channel interconnect) derives its bus occupancy from
+    this one ceil so the arithmetic cannot drift between models.
+    """
+    return max(1, int(math.ceil(nbytes / dram.bytes_per_cycle)))
+
+
 @dataclass(frozen=True)
 class ORAMTimingModel:
     """Charges cycle costs for path accesses of the nominal ORAM."""
@@ -35,9 +45,8 @@ class ORAMTimingModel:
     def from_config(cls, oram: ORAMConfig, dram: DRAMConfig) -> "ORAMTimingModel":
         levels = oram.nominal_levels
         bytes_per_path = (levels + 1) * oram.bucket_size * oram.block_bytes * 2
-        transfer = int(math.ceil(bytes_per_path / dram.bytes_per_cycle))
         return cls(
-            path_cycles=transfer + dram.latency_cycles,
+            path_cycles=transfer_cycles(dram, bytes_per_path) + dram.latency_cycles,
             bytes_per_path=bytes_per_path,
         )
 
@@ -53,4 +62,4 @@ class ORAMTimingModel:
 
 def dram_access_cycles(dram: DRAMConfig, block_bytes: int) -> int:
     """Latency of one DRAM line fill: flat latency + line transfer time."""
-    return dram.latency_cycles + int(math.ceil(block_bytes / dram.bytes_per_cycle))
+    return dram.latency_cycles + transfer_cycles(dram, block_bytes)

@@ -68,6 +68,19 @@ def collect_system(system, registry: Optional[MetricsRegistry] = None) -> Metric
         if health is not None:
             health.to_registry(registry)
 
+    # Memory-interconnect occupancy: per-channel gauges/counters for a
+    # single controller, per-shard prefixes for a sharded bank.
+    interconnect = getattr(backend, "interconnect", None)
+    if interconnect is not None:
+        interconnect.to_registry(registry)
+    elif hasattr(backend, "shards"):
+        for index, shard in enumerate(backend.shards):
+            shard_interconnect = getattr(shard, "interconnect", None)
+            if shard_interconnect is not None:
+                shard_interconnect.to_registry(
+                    registry, prefix=f"interconnect.shard{index}"
+                )
+
     injector = getattr(backend, "injector", None)
     if injector is not None:
         registry.counter("faults.transient_faults").set(stats.transient_faults)

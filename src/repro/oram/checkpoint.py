@@ -354,6 +354,7 @@ def dump_backend_state(backend, runtime_state: Optional[dict] = None) -> str:
             "stash_max_occupancy": backend.oram.stash.max_occupancy,
             "phase_cycles": backend.pipeline.breakdown(),
             "pipeline_requests": backend.pipeline.requests,
+            "interconnect": backend.interconnect.state_dict(),
         },
         "runtime": runtime_state or {},
     }
@@ -403,7 +404,13 @@ def restore_backend_state(backend, payload: str) -> dict:
         for name, cycles in saved["phase_cycles"].items():
             backend.pipeline.phase_cycles[name] = cycles
         backend.pipeline.requests = saved["pipeline_requests"]
-    except (KeyError, TypeError) as exc:
+        # Older checkpoints predate the interconnect; its scheduler state
+        # then simply resets (flat has none, so only channel-model bus /
+        # bank timing and occupancy counters are at stake).
+        interconnect_state = saved.get("interconnect")
+        if interconnect_state:
+            backend.interconnect.load_state_dict(interconnect_state)
+    except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(f"malformed backend checkpoint: {exc!r}") from exc
     runtime = state.get("runtime", {})
     if not isinstance(runtime, dict):

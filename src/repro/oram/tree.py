@@ -9,12 +9,145 @@ bucket to ``Z`` ciphertexts so real and dummy blocks are indistinguishable).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from operator import attrgetter
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.oram.block import Block
 
 _ADDR_OF = attrgetter("addr")
+
+
+@dataclass(frozen=True)
+class PhysicalAddress:
+    """Where one bucket lives in DRAM: ``(channel, bank, row)``."""
+
+    channel: int
+    bank: int
+    row: int
+
+
+class PhysicalLayout:
+    """Subtree-to-channel tiling of the bucket tree onto physical DRAM.
+
+    The tree is partitioned into complete subtrees of height
+    ``subtree_levels`` (``h``): tier 0 is the single subtree rooted at
+    the root, tier 1 the ``2**h`` subtrees rooted at level ``h``, and so
+    on.  Subtrees are striped across channels with a per-tier rotation
+    (``channel = (index_within_tier + tier) % C``): the rotation makes
+    the one subtree a path touches per tier land on a *different*
+    channel tier after tier, even for leaves whose within-tier index is
+    constant (the functional-to-nominal leaf embedding produces exactly
+    such paths).  Each channel then packs the subtrees it owns densely
+    -- tiers occupy disjoint slot ranges, so the bucket-to-location map
+    is injective -- with the slot striped across banks and the
+    remainder selecting the DRAM row.  One subtree's ``Z * (2**h - 1)``
+    blocks sit contiguously in a single row, so reading a path segment
+    that crosses the subtree is one row activation + one burst.
+
+    This is the layout Path ORAM's geometry invites (every access touches
+    exactly one subtree per tier, and consecutive tiers land on
+    *different* channels for almost every leaf), which is what lets the
+    channel interconnect overlap a path's bucket transfers.  The layout
+    is built over the **nominal** tree -- the paper-scale geometry that
+    timing is charged against -- not the small functional tree.
+    """
+
+    def __init__(
+        self,
+        levels: int,
+        num_channels: int,
+        num_banks: int,
+        subtree_levels: int = 2,
+    ):
+        if levels < 1:
+            raise ValueError("layout needs a tree with at least 1 level")
+        if num_channels < 1 or num_banks < 1:
+            raise ValueError("layout needs at least one channel and bank")
+        if subtree_levels < 1:
+            raise ValueError("subtree tiles must be at least one level tall")
+        self.levels = levels
+        self.num_channels = num_channels
+        self.num_banks = num_banks
+        self.subtree_levels = subtree_levels
+        # base[t] = number of subtrees in tiers < t (tier t roots sit at
+        # level t * subtree_levels and there are 2**(t*h) of them).
+        base: List[int] = []
+        count = 0
+        for root_level in range(0, levels + 1, subtree_levels):
+            base.append(count)
+            count += 1 << root_level
+        self._tier_base: Tuple[int, ...] = tuple(base)
+        self.num_subtrees = count
+        # offsets[t][c] = slots channel c has handed out to tiers < t.
+        # Tier t assigns within-tier index x to channel (x + t) % C, so
+        # channel c receives the x's congruent to (c - t) mod C -- their
+        # count per tier is a closed form, accumulated here once.
+        channels = num_channels
+        running = [0] * channels
+        offsets: List[Tuple[int, ...]] = []
+        for tier, root_level in enumerate(range(0, levels + 1, subtree_levels)):
+            offsets.append(tuple(running))
+            size = 1 << root_level
+            for channel in range(channels):
+                first = (channel - tier) % channels
+                if first < size:
+                    running[channel] += (size - first + channels - 1) // channels
+        self._tier_offsets: Tuple[Tuple[int, ...], ...] = tuple(offsets)
+        self._path_cache: Dict[int, Tuple[PhysicalAddress, ...]] = {}
+
+    def subtree_id(self, level: int, leaf: int) -> int:
+        """Breadth-first id of the subtree containing bucket (level, leaf)."""
+        if not 0 <= level <= self.levels:
+            raise ValueError(f"level {level} out of range [0, {self.levels}]")
+        root_level = level - level % self.subtree_levels
+        return self._tier_base[root_level // self.subtree_levels] + (
+            leaf >> (self.levels - root_level)
+        )
+
+    def subtree_address(self, subtree: int) -> PhysicalAddress:
+        """Physical placement of one subtree tile."""
+        if not 0 <= subtree < self.num_subtrees:
+            raise ValueError(
+                f"subtree {subtree} out of range [0, {self.num_subtrees})"
+            )
+        tier = 0
+        while (
+            tier + 1 < len(self._tier_base) and self._tier_base[tier + 1] <= subtree
+        ):
+            tier += 1
+        return self._place(subtree - self._tier_base[tier], tier)
+
+    def _place(self, index: int, tier: int) -> PhysicalAddress:
+        """Place within-tier subtree ``index`` of ``tier`` (see class doc)."""
+        channel = (index + tier) % self.num_channels
+        slot = self._tier_offsets[tier][channel] + index // self.num_channels
+        return PhysicalAddress(
+            channel=channel, bank=slot % self.num_banks, row=slot // self.num_banks
+        )
+
+    def address_of(self, level: int, leaf: int) -> PhysicalAddress:
+        """Physical address of the bucket at ``level`` on the path to ``leaf``."""
+        root_level = level - level % self.subtree_levels
+        tier = root_level // self.subtree_levels
+        return self._place(leaf >> (self.levels - root_level), tier)
+
+    def path_addresses(self, leaf: int) -> Sequence[PhysicalAddress]:
+        """Physical addresses of the root-to-leaf path, root first (memoized).
+
+        Consecutive entries repeat while the path stays inside one
+        subtree tile; the interconnect coalesces those repeats into a
+        single array access.
+        """
+        path = self._path_cache.get(leaf)
+        if path is None:
+            if not 0 <= leaf < (1 << self.levels):
+                raise ValueError(f"leaf {leaf} out of range [0, {1 << self.levels})")
+            path = tuple(
+                self.address_of(level, leaf) for level in range(self.levels + 1)
+            )
+            self._path_cache[leaf] = path
+        return path
 
 
 class BinaryTree:

@@ -16,7 +16,7 @@ exactly like the paper's legends.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.config import SystemConfig
@@ -456,6 +456,9 @@ class SecureSystem:
             if backend.injector is not None:
                 for name, value in backend.injector.stats.as_dict().items():
                     result.extra[f"injected_{name}"] = value
+            if backend.interconnect.model != "flat":
+                for name, value in backend.interconnect.summary().items():
+                    result.extra[f"interconnect_{name}"] = value
         elif isinstance(self.backend, ShardedORAMBank):
             bank = self.backend
             result.stash_max_occupancy = bank.stash_max_occupancy()
@@ -480,6 +483,16 @@ class SecureSystem:
             if injected is not None:
                 for name, value in injected.stats.as_dict().items():
                     result.extra[f"injected_{name}"] = value
+            if bank.shards[0].interconnect.model != "flat":
+                merged: Dict[str, int] = {}
+                for shard in bank.shards:
+                    for name, value in shard.interconnect.summary().items():
+                        if name == "channels":
+                            merged[name] = value
+                        else:
+                            merged[name] = merged.get(name, 0) + value
+                for name, value in merged.items():
+                    result.extra[f"interconnect_{name}"] = value
         return result
 
 

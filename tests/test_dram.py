@@ -52,19 +52,27 @@ class TestPrefetch:
 
 
 class TestWriteback:
-    def test_dirty_eviction_consumes_bandwidth_without_stalling(self):
+    def test_dirty_eviction_goes_through_the_bank_scheduler(self):
         dram = make_dram()
         dram.evict_line(3, dirty=True, now=0)
         assert dram.stats.write_accesses == 1
         assert dram.stats.memory_accesses == 1
-        # A single writeback hides under the demand's 100-cycle latency ...
-        assert dram.demand_access(4, now=0, is_write=False).completion_cycle == 108
-        # ... but a burst of writebacks backlogs the pins and delays demands.
-        dram2 = make_dram()
+        # The writeback is a full scheduled access: it occupies bank 3 and
+        # then the pins (bus free at 108), so a demand to another bank
+        # overlaps its array access but queues behind it on the bus.
+        # (It used to bump only the bus, leaving its bank idle.)
+        assert dram.demand_access(4, now=0, is_write=False).completion_cycle == 116
+        # A demand to the *same* bank also waits for the array access.
+        dram2 = make_dram(num_banks=8)
+        dram2.evict_line(3, dirty=True, now=0)
+        same_bank = dram2.demand_access(11, now=0, is_write=False)
+        assert same_bank.completion_cycle == 100 + 100 + 8
+        # A burst of writebacks backlogs the pins and delays demands further.
+        dram3 = make_dram()
         for _ in range(20):
-            dram2.evict_line(3, dirty=True, now=0)
-        result = dram2.demand_access(4, now=0, is_write=False)
-        assert result.completion_cycle > 108
+            dram3.evict_line(3, dirty=True, now=0)
+        result = dram3.demand_access(4, now=0, is_write=False)
+        assert result.completion_cycle > 116
 
     def test_clean_eviction_free(self):
         dram = make_dram()

@@ -1,0 +1,348 @@
+"""Tests for the pluggable memory-interconnect layer.
+
+Two contracts anchor the refactor:
+
+* the default :class:`FlatInterconnect` reproduces the pre-refactor
+  scalar timing bit-for-bit (the golden determinism test pins the full
+  system; here we pin the layer itself), and
+* a *degenerate* :class:`ChannelInterconnect` -- one channel, more banks
+  than subtrees, closed page policy -- reproduces the flat model's cycle
+  counts exactly, access by access (property-tested over random
+  geometries and leaf schedules).
+
+Beyond equivalence: the layout must tile every bucket, multi-channel
+streaming must actually be faster than the flat scalar, the periodic
+grid must stay leak-free under the channel model, and the scheduler
+state must survive a checkpoint round-trip.
+"""
+
+import dataclasses
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import experiment_config
+from repro.config import DRAMConfig, ORAMConfig, TimingProtectionConfig
+from repro.memory.interconnect import (
+    ChannelInterconnect,
+    FlatInterconnect,
+    build_interconnect,
+)
+from repro.memory.periodic import PeriodicORAMBackend
+from repro.memory.timing import ORAMTimingModel, dram_access_cycles, transfer_cycles
+from repro.observability.collect import collect_system
+from repro.observability.recorder import InMemoryRecorder
+from repro.oram.super_block import BaselineScheme
+from repro.oram.tree import PhysicalLayout
+from repro.sim.system import SecureSystem
+from repro.utils.rng import DeterministicRng
+from repro.workloads.synthetic import locality_mix_trace
+
+#: Degenerate channel config: provably equivalent to the flat model.
+DEGENERATE = dict(model="channel", num_channels=1, num_banks=1 << 30, page_policy="closed")
+
+#: A small nominal tree (1 MB capacity -> ~12 levels) keeps the
+#: property-test plans cheap without changing any of the arithmetic.
+SMALL_CAPACITY = 1 << 20
+
+
+def degenerate_dram(**overrides):
+    return DRAMConfig(**{**DEGENERATE, **overrides})
+
+
+class TestSharedLatencyHelper:
+    def test_transfer_cycles_matches_dram_backend(self):
+        dram = DRAMConfig()
+        assert transfer_cycles(dram, 128) == 8
+        assert dram_access_cycles(dram, 128) == 108
+
+    def test_transfer_cycles_floor(self):
+        assert transfer_cycles(DRAMConfig(bandwidth_gbps=1000.0), 1) == 1
+
+    def test_timing_model_uses_helper(self):
+        oram = ORAMConfig(levels=9, bucket_size=4)
+        dram = DRAMConfig()
+        timing = ORAMTimingModel.from_config(oram, dram)
+        bytes_per_path = (oram.nominal_levels + 1) * 4 * 128 * 2
+        assert timing.path_cycles == dram.latency_cycles + transfer_cycles(
+            dram, bytes_per_path
+        )
+
+
+class TestPhysicalLayout:
+    def test_every_bucket_has_an_address(self):
+        layout = PhysicalLayout(levels=6, num_channels=4, num_banks=8, subtree_levels=2)
+        for leaf in range(1 << 6):
+            path = layout.path_addresses(leaf)
+            assert len(path) == 7
+            for address in path:
+                assert 0 <= address.channel < 4
+                assert 0 <= address.bank < 8
+                assert address.row >= 0
+
+    def test_single_channel_layout_uses_channel_zero(self):
+        layout = PhysicalLayout(levels=6, num_channels=1, num_banks=8)
+        for leaf in range(1 << 6):
+            assert all(a.channel == 0 for a in layout.path_addresses(leaf))
+
+    def test_buckets_in_one_subtree_share_an_address(self):
+        layout = PhysicalLayout(levels=7, num_channels=4, num_banks=8, subtree_levels=2)
+        for leaf in (0, 17, 127):
+            path = layout.path_addresses(leaf)
+            for level in range(7 + 1):
+                partner = level - level % 2  # the subtree's root level
+                assert path[level] == path[partner]
+
+    def test_distinct_subtrees_get_distinct_slots(self):
+        layout = PhysicalLayout(levels=6, num_channels=2, num_banks=1 << 20)
+        seen = {}
+        for subtree in range(layout.num_subtrees):
+            address = layout.subtree_address(subtree)
+            key = (address.channel, address.bank, address.row)
+            assert key not in seen, f"subtrees {seen[key]} and {subtree} collide"
+            seen[key] = subtree
+
+    def test_path_spreads_across_channels(self):
+        # The tier rotation must spread one path's tiers over the
+        # channels even though tier subtree ids repeat across leaves.
+        layout = PhysicalLayout(levels=12, num_channels=4, num_banks=8)
+        for leaf in (0, 1, 1000, 4095):
+            channels = {a.channel for a in layout.path_addresses(leaf)}
+            assert len(channels) == 4
+
+    def test_subtree_address_agrees_with_address_of(self):
+        layout = PhysicalLayout(levels=8, num_channels=4, num_banks=8, subtree_levels=3)
+        for leaf in (0, 37, 255):
+            for level in range(8 + 1):
+                subtree = layout.subtree_id(level, leaf)
+                assert layout.subtree_address(subtree) == layout.address_of(level, leaf)
+
+
+class TestFlatInterconnect:
+    def test_matches_timing_model(self):
+        oram = ORAMConfig(levels=9, bucket_size=4)
+        dram = DRAMConfig()
+        flat = build_interconnect(oram, dram)
+        timing = ORAMTimingModel.from_config(oram, dram)
+        assert isinstance(flat, FlatInterconnect)
+        assert flat.path_cycles == timing.path_cycles
+        assert flat.bytes_per_path == timing.bytes_per_path
+        assert flat.path_completion(5, 1000) == 1000 + timing.path_cycles
+
+    def test_default_system_builds_flat(self):
+        trace = locality_mix_trace(0.8, accesses=50)
+        system = SecureSystem.build("dyn", trace.footprint_blocks, experiment_config())
+        assert isinstance(system.backend.interconnect, FlatInterconnect)
+        assert system.backend.interconnect.path_cycles == system.backend.timing.path_cycles
+
+
+class TestDegenerateEquivalence:
+    """1 channel + unbounded banks + closed page == the flat model, exactly."""
+
+    @given(
+        levels=st.integers(min_value=4, max_value=9),
+        bucket_size=st.integers(min_value=1, max_value=5),
+        block_shift=st.integers(min_value=6, max_value=9),
+        bandwidth=st.sampled_from([4.0, 12.8, 16.0, 25.6]),
+        latency=st.integers(min_value=1, max_value=300),
+        subtree_levels=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cycle_counts_identical(
+        self, levels, bucket_size, block_shift, bandwidth, latency, subtree_levels, seed
+    ):
+        oram = ORAMConfig(
+            capacity_bytes=SMALL_CAPACITY,
+            levels=levels,
+            bucket_size=bucket_size,
+            block_bytes=1 << block_shift,
+        )
+        base = dict(bandwidth_gbps=bandwidth, latency_cycles=latency)
+        flat = build_interconnect(oram, DRAMConfig(**base))
+        channel = build_interconnect(
+            oram, degenerate_dram(subtree_levels=subtree_levels, **base)
+        )
+        assert channel.path_cycles == flat.path_cycles
+        rng = random.Random(seed)
+        now_flat = now_channel = 0
+        for _ in range(50):
+            leaf = rng.randrange(1 << levels)
+            done_flat = flat.path_completion(leaf, now_flat)
+            done_channel = channel.path_completion(leaf, now_channel)
+            assert done_flat - now_flat == done_channel - now_channel
+            # Serialized issue (the controller's contract) plus idle gaps.
+            gap = rng.randrange(4) * rng.randrange(200)
+            now_flat = done_flat + gap
+            now_channel = done_channel + gap
+
+    def test_full_system_result_identical(self):
+        trace = locality_mix_trace(0.8, accesses=3000)
+        config = experiment_config()
+        flat_system = SecureSystem.build("dyn", trace.footprint_blocks, config)
+        flat_result = flat_system.run(trace)
+        channel_config = dataclasses.replace(config, dram=degenerate_dram())
+        channel_system = SecureSystem.build("dyn", trace.footprint_blocks, channel_config)
+        assert isinstance(channel_system.backend.interconnect, ChannelInterconnect)
+        channel_result = channel_system.run(trace)
+        flat_dict = dataclasses.asdict(flat_result)
+        channel_dict = dataclasses.asdict(channel_result)
+        flat_dict.pop("extra")
+        channel_dict.pop("extra")
+        assert flat_dict == channel_dict
+
+
+class TestChannelSpeedup:
+    def test_nominal_path_cost_scales_with_channels(self):
+        oram = ORAMConfig(levels=9, bucket_size=4)
+        flat = build_interconnect(oram, DRAMConfig())
+        four = build_interconnect(oram, DRAMConfig(model="channel", num_channels=4))
+        assert four.path_cycles < flat.path_cycles
+        # latency + transfer/4 vs latency + transfer
+        assert four.path_cycles - 100 <= (flat.path_cycles - 100) // 4 + 1
+
+    def test_streamed_paths_beat_flat_by_the_gate(self):
+        oram = ORAMConfig(levels=9, bucket_size=4)
+        flat = build_interconnect(oram, DRAMConfig())
+        four = build_interconnect(oram, DRAMConfig(model="channel", num_channels=4))
+        rng = random.Random(3)
+        now = 0
+        for _ in range(500):
+            now = four.path_completion(rng.randrange(1 << 9), now)
+        mean = now / 500
+        assert flat.path_cycles / mean >= 1.3
+
+    def test_full_system_faster_with_channels(self):
+        trace = locality_mix_trace(0.8, accesses=3000)
+        config = experiment_config()
+        flat_result = SecureSystem.build("dyn", trace.footprint_blocks, config).run(trace)
+        fast = dataclasses.replace(
+            config, dram=dataclasses.replace(config.dram, model="channel", num_channels=4)
+        )
+        fast_result = SecureSystem.build("dyn", trace.footprint_blocks, fast).run(trace)
+        assert fast_result.cycles < flat_result.cycles
+        assert fast_result.extra["interconnect_channels"] == 4
+        assert fast_result.extra["interconnect_streamed_paths"] > 0
+
+
+class TestPeriodicGridWithChannels:
+    def test_issue_times_stay_on_the_grid(self):
+        backend = PeriodicORAMBackend(
+            ORAMConfig(levels=7, bucket_size=4, stash_blocks=50, utilization=0.5),
+            DRAMConfig(model="channel", num_channels=4),
+            BaselineScheme(),
+            DeterministicRng(4),
+            TimingProtectionConfig(enabled=True, interval_cycles=100),
+        )
+        recorder = InMemoryRecorder()
+        backend.set_recorder(recorder)
+        period = backend.interconnect.path_cycles + backend.interval
+        rng = DeterministicRng(9)
+        now = 0
+        for i in range(60):
+            choice = rng.randbelow(3)
+            if choice == 0:
+                result = backend.demand_access(1 + (i % 32), now=now, is_write=bool(i % 2))
+                now = result.completion_cycle
+            elif choice == 1:
+                backend.evict_line(1 + (i % 32), dirty=True, now=now)
+                now = backend.busy_until
+            else:
+                now += 1 + rng.randbelow(3 * period)
+        backend.finalize(now + 5 * period)
+        starts = [r["start"] for r in recorder.records if "event" not in r]
+        assert starts
+        assert all(start % period == 0 for start in starts)
+        dummy_slots = [
+            r["slot"] for r in recorder.records if r.get("event") == "periodic_dummy"
+        ]
+        assert dummy_slots
+        assert all(slot % period == 0 for slot in dummy_slots)
+
+
+class TestCheckpointRoundTrip:
+    def test_channel_state_survives(self):
+        oram = ORAMConfig(capacity_bytes=SMALL_CAPACITY, levels=6, bucket_size=4)
+        dram = DRAMConfig(model="channel", num_channels=4)
+        source = build_interconnect(oram, dram)
+        rng = random.Random(11)
+        now = 0
+        for _ in range(40):
+            now = source.path_completion(rng.randrange(1 << 6), now)
+        source.note_untracked(7)
+        target = build_interconnect(oram, dram)
+        target.load_state_dict(source.state_dict())
+        assert target.state_dict() == source.state_dict()
+        # The restored scheduler continues with identical timing.
+        leaf = 13
+        assert target.path_completion(leaf, now) == source.path_completion(leaf, now)
+
+    def test_channel_count_mismatch_rejected(self):
+        oram = ORAMConfig(capacity_bytes=SMALL_CAPACITY, levels=6, bucket_size=4)
+        source = build_interconnect(oram, DRAMConfig(model="channel", num_channels=4))
+        target = build_interconnect(oram, DRAMConfig(model="channel", num_channels=2))
+        try:
+            target.load_state_dict(source.state_dict())
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected a channel-count mismatch error")
+
+
+class TestMetricsExport:
+    def test_per_channel_occupancy_in_registry(self):
+        trace = locality_mix_trace(0.8, accesses=1500)
+        config = experiment_config()
+        fast = dataclasses.replace(
+            config, dram=dataclasses.replace(config.dram, model="channel", num_channels=4)
+        )
+        system = SecureSystem.build("dyn", trace.footprint_blocks, fast)
+        system.run(trace)
+        registry = collect_system(system)
+        names = {instrument.name for instrument in registry}
+        for channel in range(4):
+            assert f"interconnect.channel{channel}.busy_cycles" in names
+            assert f"interconnect.channel{channel}.bus_occupancy_pct" in names
+        assert "interconnect.streamed_paths" in names
+
+    def test_sharded_bank_exports_per_shard(self):
+        trace = locality_mix_trace(0.8, accesses=1500)
+        config = experiment_config()
+        fast = dataclasses.replace(
+            config, dram=dataclasses.replace(config.dram, model="channel", num_channels=2)
+        )
+        system = SecureSystem.build(
+            "dyn", trace.footprint_blocks, fast, num_shards=2
+        )
+        system.run(trace)
+        registry = collect_system(system)
+        names = {instrument.name for instrument in registry}
+        assert "interconnect.shard0.channel0.busy_cycles" in names
+        assert "interconnect.shard1.channel1.busy_cycles" in names
+
+
+# --------------------------------------------- parallel runtime composition
+class TestParallelRuntimeWithChannels:
+    def test_worker_processes_honor_the_channel_model(self):
+        """The channel interconnect plumbs through ShardSpec pickling:
+        worker processes rebuild it from the config alone and the merged
+        result stays bit-identical to the serial sharded bank."""
+        from repro.config import SystemConfig
+        from repro.parallel import ParallelShardRuntime, run_serial_reference
+
+        rng = DeterministicRng(9)
+        requests = []
+        now = 0
+        for index in range(200):
+            now += rng.randint(1, 40)
+            requests.append((rng.randint(0, 127), now, index % 5 == 0))
+        config = SystemConfig()
+        config = dataclasses.replace(
+            config,
+            dram=dataclasses.replace(config.dram, model="channel", num_channels=4),
+        )
+        serial = run_serial_reference("dyn", 128, requests, config, num_shards=2)
+        with ParallelShardRuntime("dyn", 128, config, 2, batch_size=23) as runtime:
+            parallel = runtime.run(requests)
+        assert dataclasses.asdict(parallel) == dataclasses.asdict(serial)
