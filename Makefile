@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast profile shards parallel interconnect trace soak chaos examples gallery audit clean
+.PHONY: install test bench bench-fast profile shards parallel interconnect trace serve soak chaos examples gallery audit clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -38,6 +38,10 @@ interconnect:
 trace:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trace_overhead.py
 	PYTHONPATH=src $(PYTHON) -m repro metrics -w locality:80 -s dyn --accesses 20000
+
+serve:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py
+	PYTHONPATH=src $(PYTHON) -m repro serve -s dyn --shards 4 --tenants 4 --requests 400 --metrics
 
 soak:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_soak_faults.py

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Serving front-end scaling benchmark (open-loop sweep over shard counts).
+
+The deadline-aware front end (:mod:`repro.serve`) admits a multi-tenant
+open-loop request stream into bounded fair queues and batches it onto an
+N-shard ORAM bank.  This benchmark offers the *same* fixed load -- four
+tenants, exponential arrivals -- to 1/2/4-shard banks and measures served
+throughput (requests per kilocycle of simulated time) and the p99
+admission->completion latency.
+
+A single shard saturates below the offered rate, so admission control
+sheds and latency balloons; four shards absorb the full load.  Acceptance
+gates: the 4-shard bank must sustain >= 2x the 1-shard served throughput,
+with a bounded p99 (the overload survives in the *shed* column, not the
+latency tail).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --requests 300 --gap 2500
+
+Writes ``BENCH_serve.json`` (override with ``-o``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.experiments import experiment_config
+from repro.config import ServeConfig
+from repro.serve import OpenLoopSource, ServingFrontEnd
+
+SHARD_COUNTS = [1, 2, 4]
+SCHEME = "dyn"
+TENANTS = 4
+#: acceptance: thr(4 shards) / thr(1 shard) floor
+ACCEPTANCE_SPEEDUP_AT_4 = 2.0
+#: acceptance: p99 admission->completion ceiling at 4 shards (cycles).
+#: Generous vs. the observed ~32k: the gate catches pathological queueing,
+#: not bucket-boundary jitter (histogram buckets are powers of two).
+ACCEPTANCE_P99_AT_4 = 65_536
+
+
+def run(num_shards: int, requests: int, gap_mean: float, seed: int):
+    source = OpenLoopSource.synthetic(
+        TENANTS,
+        requests,
+        footprint_per_tenant=2_048,
+        gap_mean=gap_mean,
+        locality=0.6,
+        seed=seed,
+    )
+    frontend = ServingFrontEnd.build(
+        SCHEME,
+        source.footprint_blocks,
+        experiment_config(),
+        num_shards,
+        serve_config=ServeConfig(),
+        workload="bench_serve",
+    )
+    return frontend.run(source)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests", type=int, default=600, help="requests per tenant"
+    )
+    parser.add_argument(
+        "--gap",
+        type=float,
+        default=3_300.0,
+        help="mean inter-arrival gap per tenant (cycles)",
+    )
+    parser.add_argument("--seed", type=int, default=33)
+    parser.add_argument("-o", "--output", default="BENCH_serve.json")
+    parser.add_argument(
+        "--no-assert",
+        action="store_true",
+        help="report only; skip the throughput/latency acceptance gates",
+    )
+    args = parser.parse_args(argv)
+    if args.requests < 1 or args.gap <= 0:
+        parser.error("--requests must be >= 1 and --gap positive")
+
+    rows = []
+    by_shards = {}
+    for num_shards in SHARD_COUNTS:
+        report = run(num_shards, args.requests, args.gap, args.seed)
+        by_shards[num_shards] = report
+        rows.append(report)
+        print(
+            f"{num_shards} shard(s): {report.served_per_kilocycle:6.3f} "
+            f"req/kcycle  served {report.served}/{report.offered} "
+            f"(shed {report.shed}, coalesced {report.coalesced})  "
+            f"p99<={report.p99_latency:,}  "
+            f"deadline misses {report.deadline_misses}"
+        )
+
+    speedup_at_4 = (
+        by_shards[4].served_per_kilocycle / by_shards[1].served_per_kilocycle
+    )
+    p99_at_4 = by_shards[4].p99_latency
+    thr_ok = speedup_at_4 >= ACCEPTANCE_SPEEDUP_AT_4
+    p99_ok = p99_at_4 <= ACCEPTANCE_P99_AT_4
+    print(
+        f"4-shard served-throughput scaling {speedup_at_4:.2f}x "
+        f"(floor {ACCEPTANCE_SPEEDUP_AT_4:.1f}x): "
+        + ("PASS" if thr_ok else "FAIL")
+    )
+    print(
+        f"4-shard p99 latency {p99_at_4:,} cycles "
+        f"(ceiling {ACCEPTANCE_P99_AT_4:,}): " + ("PASS" if p99_ok else "FAIL")
+    )
+
+    artifact = {
+        "workload": "serve_open_loop",
+        "scheme": SCHEME,
+        "tenants": TENANTS,
+        "requests_per_tenant": args.requests,
+        "gap_mean": args.gap,
+        "seed": args.seed,
+        "results": [
+            {
+                "num_shards": report.num_shards,
+                "served_per_kilocycle": report.served_per_kilocycle,
+                "offered": report.offered,
+                "served": report.served,
+                "shed": report.shed,
+                "coalesced": report.coalesced,
+                "batches": report.batches,
+                "deadline_closes": report.deadline_closes,
+                "deadline_misses": report.deadline_misses,
+                "p50_latency": report.p50_latency,
+                "p99_latency": report.p99_latency,
+                "mean_latency": report.mean_latency,
+                "makespan_cycles": report.makespan_cycles,
+            }
+            for report in rows
+        ],
+        "speedup_at_4_shards": speedup_at_4,
+        "p99_at_4_shards": p99_at_4,
+        "acceptance": {
+            "throughput_floor": ACCEPTANCE_SPEEDUP_AT_4,
+            "throughput_pass": thr_ok,
+            "p99_ceiling": ACCEPTANCE_P99_AT_4,
+            "p99_pass": p99_ok,
+        },
+        "acceptance_pass": thr_ok and p99_ok,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if not args.no_assert and not (thr_ok and p99_ok):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

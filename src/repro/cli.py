@@ -534,6 +534,129 @@ def cmd_parallel(args) -> int:
     return 0 if identical else 1
 
 
+def cmd_serve(args) -> int:
+    """Drive the deadline-aware serving front end over a sharded bank."""
+    from repro.config import ServeConfig
+    from repro.observability import collect_serve
+    from repro.serve import ClosedLoopSource, OpenLoopSource, ServingFrontEnd
+
+    scheme = args.scheme
+    unsupported = (
+        scheme not in KNOWN_SCHEMES
+        or scheme.startswith("dram")
+        or scheme.endswith(("_pre", "_spre", "_mpre", "_intvl"))
+    )
+    if unsupported:
+        raise SystemExit(
+            f"scheme '{scheme}' cannot run on a sharded bank "
+            "(base ORAM schemes only; no prefetch/periodic suffixes)"
+        )
+    weights = None
+    if args.weights:
+        weights = [int(w) for w in args.weights.split(",") if w.strip()]
+        if len(weights) != args.tenants:
+            raise SystemExit(
+                f"--weights names {len(weights)} tenants, --tenants says "
+                f"{args.tenants}"
+            )
+    health_policy = None
+    if args.health_policy:
+        from repro.health import HealthPolicy
+
+        try:
+            health_policy = HealthPolicy.parse(args.health_policy)
+        except ValueError as error:
+            raise SystemExit(str(error))
+    if args.mode == "open":
+        source = OpenLoopSource.synthetic(
+            args.tenants,
+            args.requests,
+            footprint_per_tenant=args.footprint,
+            gap_mean=args.gap,
+            locality=args.locality,
+            write_fraction=args.write_frac,
+            deadline_cycles=args.deadline,
+            weights=weights,
+            seed=args.seed,
+        )
+    else:
+        source = ClosedLoopSource(
+            args.tenants,
+            args.clients,
+            args.requests,
+            footprint_per_tenant=args.footprint,
+            think_mean=args.think,
+            write_fraction=args.write_frac,
+            deadline_cycles=args.deadline,
+            weights=weights,
+            seed=args.seed,
+        )
+    serve_config = ServeConfig(
+        enabled=not args.bypass,
+        batch_size=args.batch,
+        deadline_cycles=args.deadline,
+        queue_capacity=args.queue_capacity,
+        max_backlog=args.max_backlog,
+        coalesce=not args.no_coalesce,
+    )
+    workload = f"serve_{args.mode}"
+    frontend = ServingFrontEnd.build(
+        scheme,
+        source.footprint_blocks,
+        experiment_config(),
+        args.shards,
+        serve_config=serve_config,
+        health_policy=health_policy,
+        workload=workload,
+    )
+    mode_desc = (
+        f"open loop, mean gap {args.gap:g}"
+        if args.mode == "open"
+        else f"closed loop, {args.clients} clients/tenant, think {args.think:g}"
+    )
+    print(
+        f"{workload}: {args.tenants} tenants over a {args.shards}-shard "
+        f"'{scheme}' bank ({mode_desc}, deadline {args.deadline:,})"
+    )
+    report = frontend.run(source)
+    print(report.render())
+    if args.metrics:
+        print(collect_serve(frontend).render("serve metrics"))
+    if args.parallel_check:
+        if health_policy is not None:
+            raise SystemExit(
+                "--parallel-check needs a health-free bank: quarantine "
+                "dummy padding is invisible to the replayed schedule"
+            )
+        import dataclasses
+
+        from repro.parallel.merge import replay_issued_schedule
+
+        replayed = replay_issued_schedule(
+            scheme,
+            source.footprint_blocks,
+            frontend.issued,
+            experiment_config(),
+            args.shards,
+            workload=workload,
+            parallel=True,
+        )
+        if replayed == report.sim:
+            print(
+                f"parallel check: {len(frontend.issued)} issued accesses "
+                "replay bit-identically through the worker runtime"
+            )
+        else:
+            print("parallel check FAILED: replayed SimResult differs")
+            for field in dataclasses.fields(replayed):
+                ours = getattr(report.sim, field.name)
+                theirs = getattr(replayed, field.name)
+                if ours != theirs:
+                    print(f"  {field.name}: serve={ours} replay={theirs}")
+            return 1
+    return 0
+
+
 def cmd_chaos(args) -> int:
     """Cross-layer chaos storm: KV ladder + parallel runtime + bank plane."""
     import json
@@ -756,6 +879,76 @@ def make_parser() -> argparse.ArgumentParser:
         help="DRAM channels per shard (implies --dram-model channel)",
     )
     parallel_p.set_defaults(func=cmd_parallel)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="deadline-aware multi-tenant serving front end over a "
+        "sharded bank (open/closed-loop load generator)",
+    )
+    serve_p.add_argument("-s", "--scheme", default="dyn")
+    serve_p.add_argument("--mode", choices=["open", "closed"], default="open")
+    serve_p.add_argument("--shards", type=int, default=4, metavar="N")
+    serve_p.add_argument("--tenants", type=int, default=3, metavar="K")
+    serve_p.add_argument(
+        "--weights",
+        default=None,
+        metavar="W0,W1,...",
+        help="per-tenant fair-share weights (default: equal)",
+    )
+    serve_p.add_argument(
+        "--requests",
+        type=int,
+        default=2_000,
+        metavar="N",
+        help="open loop: requests per tenant; closed loop: per client",
+    )
+    serve_p.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="closed loop: client population per tenant",
+    )
+    serve_p.add_argument(
+        "--footprint", type=int, default=2_048, metavar="BLOCKS",
+        help="private address region per tenant",
+    )
+    serve_p.add_argument(
+        "--gap", type=float, default=600.0, metavar="CYCLES",
+        help="open loop: mean inter-arrival gap per tenant",
+    )
+    serve_p.add_argument(
+        "--think", type=float, default=5_000.0, metavar="CYCLES",
+        help="closed loop: mean client think time",
+    )
+    serve_p.add_argument("--locality", type=float, default=0.5)
+    serve_p.add_argument("--write-frac", type=float, default=0.2)
+    serve_p.add_argument("--batch", type=int, default=8, metavar="N",
+                         help="per-shard batch quota")
+    serve_p.add_argument("--deadline", type=int, default=30_000,
+                         metavar="CYCLES")
+    serve_p.add_argument("--queue-capacity", type=int, default=64, metavar="N")
+    serve_p.add_argument("--max-backlog", type=int, default=512, metavar="N")
+    serve_p.add_argument("--no-coalesce", action="store_true",
+                         help="disable super-block request coalescing")
+    serve_p.add_argument(
+        "--bypass",
+        action="store_true",
+        help="disable every serving policy (bit-identical to the raw bank)",
+    )
+    serve_p.add_argument(
+        "--health-policy",
+        metavar="KEY=VAL[,...]",
+        help="attach per-shard circuit breakers; DEGRADED shards get "
+        "smaller batch quotas, QUARANTINED shards reroute at admission",
+    )
+    serve_p.add_argument(
+        "--parallel-check",
+        action="store_true",
+        help="replay the issued schedule through the process-parallel "
+        "runtime and require a bit-identical SimResult",
+    )
+    serve_p.add_argument("--metrics", action="store_true",
+                         help="print the serve.* metrics registry")
+    serve_p.add_argument("--seed", type=int, default=42)
+    serve_p.set_defaults(func=cmd_serve)
 
     chaos_p = sub.add_parser(
         "chaos",

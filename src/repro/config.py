@@ -221,6 +221,72 @@ class TimingProtectionConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """Request-serving front-end policies (DESIGN.md section 12).
+
+    The front end (:mod:`repro.serve`) sits between a multi-tenant request
+    stream and a sharded ORAM bank.  These knobs bound its queues and shape
+    its batches; the defaults favour fairness and bounded latency over raw
+    batch efficiency.
+
+    Attributes:
+        enabled: ``False`` bypasses every serving policy -- requests are
+            issued directly at their arrival cycles in arrival order, which
+            is bit-identical to driving the bank without a front end.
+        batch_size: per-shard batch quota for HEALTHY shards; a batch is
+            issued as soon as it holds this many distinct accesses.
+        deadline_cycles: default admission->completion budget stamped on
+            requests whose source does not set one explicitly.
+        deadline_close_fraction: a batch also closes when its oldest
+            member has spent this fraction of its deadline budget waiting
+            (the "half-spent" rule at the default 0.5).
+        queue_capacity: per-tenant ingress queue bound; arrivals beyond it
+            are shed at admission.
+        max_backlog: global bound on queued + batched-but-unissued
+            requests; ``0`` disables the global cap.
+        coalesce: dedupe concurrent requests for the same super block onto
+            one pending ORAM access and fan the completion back out.
+        degraded_quota_fraction: batch-quota multiplier for DEGRADED
+            shards (smaller batches -> less merge/stash pressure).
+        stash_shed_fraction: shed new arrivals for a shard whose stash
+            occupancy exceeds this fraction of capacity -- admission
+            control firing *before* the stash overflows.  ``0`` disables.
+    """
+
+    enabled: bool = True
+    batch_size: int = 8
+    deadline_cycles: int = 30_000
+    deadline_close_fraction: float = 0.5
+    queue_capacity: int = 64
+    max_backlog: int = 512
+    coalesce: bool = True
+    degraded_quota_fraction: float = 0.5
+    stash_shed_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        if self.deadline_cycles < 1:
+            raise ValueError("deadline budget must be at least 1 cycle")
+        if not 0.0 < self.deadline_close_fraction <= 1.0:
+            raise ValueError("deadline close fraction must be in (0, 1]")
+        if self.queue_capacity < 1:
+            raise ValueError("per-tenant queues need capacity >= 1")
+        if self.max_backlog < 0:
+            raise ValueError("max backlog cannot be negative")
+        if not 0.0 <= self.degraded_quota_fraction <= 1.0:
+            raise ValueError("degraded quota fraction must be in [0, 1]")
+        if not 0.0 <= self.stash_shed_fraction <= 1.0:
+            raise ValueError("stash shed fraction must be in [0, 1]")
+
+    def quota_for(self, throttled: bool) -> int:
+        """Per-shard batch quota given the shard's health throttle state."""
+        if not throttled:
+            return self.batch_size
+        return max(1, int(self.batch_size * self.degraded_quota_fraction))
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete secure-processor configuration (the whole of Table 1)."""
 

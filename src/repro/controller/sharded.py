@@ -167,6 +167,30 @@ class ShardedORAMBank(MemoryBackend):
     def _split(self, addr: int) -> Tuple[ORAMBackend, int]:
         return self.shards[addr % self.num_shards], addr // self.num_shards
 
+    def shard_of(self, addr: int) -> int:
+        """Which channel owns a global address (the public interleave)."""
+        return addr % self.num_shards
+
+    def coalesce_key(self, addr: int) -> Tuple[int, int]:
+        """Coalescing identity of an address: ``(shard, super-block leader)``.
+
+        Two addresses share a key exactly when one ORAM path access serves
+        both -- they live on the same shard and the shard's scheme currently
+        maps them into the same (super) block, so the serving front end can
+        dedupe concurrent requests for them onto a single access.  For the
+        baseline scheme the key degenerates to ``(shard, local)``.
+        """
+        shard_index = addr % self.num_shards
+        members = self.shards[shard_index].scheme.members_for(
+            addr // self.num_shards
+        )
+        return (shard_index, min(members))
+
+    def stash_fraction(self, shard_index: int) -> float:
+        """A channel's current stash occupancy over its capacity."""
+        stash = self.shards[shard_index].oram.stash
+        return len(stash) / stash.capacity
+
     def _globalize(self, shard_index: int, result: DemandResult) -> DemandResult:
         """Translate a shard's local fill addresses back to global ones."""
         num_shards = self.num_shards

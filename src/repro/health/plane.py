@@ -128,6 +128,17 @@ class HealthControlPlane:
     def all_healthy(self) -> bool:
         return all(b.state is HealthState.HEALTHY for b in self.breakers)
 
+    def should_reroute(self, index: int) -> bool:
+        """Admission-time routing query: send this shard's *new* arrivals
+        down the serial fallback lane instead of batching them?  True only
+        while the shard is quarantined -- probing and degraded shards keep
+        taking batched traffic (smaller batches for the latter)."""
+        return self.breakers[index].state is HealthState.QUARANTINED
+
+    def throttled(self, index: int) -> bool:
+        """Should this shard's batch quota be reduced (degraded/probing)?"""
+        return self.breakers[index].state.throttled
+
     def quarantined(self) -> List[int]:
         return [
             index

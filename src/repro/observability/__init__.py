@@ -21,6 +21,7 @@ The subsystem has four parts (see DESIGN.md section 8):
 from .collect import (
     collect_parallel,
     collect_recovery,
+    collect_serve,
     collect_system,
     collect_trace,
     system_counters,
@@ -53,6 +54,7 @@ __all__ = [
     "attach_recorder",
     "collect_parallel",
     "collect_recovery",
+    "collect_serve",
     "collect_system",
     "collect_trace",
     "is_span",

@@ -99,6 +99,58 @@ def collect_system(system, registry: Optional[MetricsRegistry] = None) -> Metric
     return registry
 
 
+#: serve.* counters forced to exist (as zero) in every collection -- a
+#: report that says 0 sheds beats one that silently omits the counter
+_SERVE_COUNTERS = (
+    "serve.offered",
+    "serve.admitted",
+    "serve.served",
+    "serve.shed",
+    "serve.shed_queue_full",
+    "serve.shed_backlog",
+    "serve.shed_pressure",
+    "serve.coalesced",
+    "serve.rerouted",
+    "serve.fallback_issues",
+    "serve.batches",
+    "serve.full_closes",
+    "serve.deadline_closes",
+    "serve.drain_closes",
+    "serve.deadline_misses",
+)
+
+
+def collect_serve(frontend, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Copy a :class:`~repro.serve.ServingFrontEnd`'s telemetry across.
+
+    The front end populates its own registry as the event loop runs
+    (``serve.*`` counters, per-tenant queue-peak gauges, and
+    admission->completion / queue-wait :class:`CycleHistogram`\\ s); this
+    copies the live values into *registry*, forces the standard counter
+    set to exist, and adds the bank-level ``bank.num_shards`` gauge plus
+    any attached health plane's ``health.*`` instruments -- one collection
+    call gives the full serving picture.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    for instrument in frontend.registry:
+        if isinstance(instrument, CycleHistogram):
+            target = registry.histogram(instrument.name)
+            target.counts = list(instrument.counts)
+            target.total = instrument.total
+            target.sum = instrument.sum
+        elif instrument.kind == "gauge":
+            registry.gauge(instrument.name).set(instrument.value)
+        else:
+            registry.counter(instrument.name).set(instrument.value)
+    for name in _SERVE_COUNTERS:
+        registry.counter(name)
+    registry.gauge("bank.num_shards").set(frontend.bank.num_shards)
+    health = getattr(frontend.bank, "health", None)
+    if health is not None:
+        health.to_registry(registry)
+    return registry
+
+
 def collect_parallel(runtime, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
     """Merge a ``ParallelShardRuntime``'s worker telemetry into *registry*.
 

@@ -146,3 +146,51 @@ def run_serial_reference(
     return merge_shard_snapshots(
         bank.snapshot_shards(), completions, workload=workload, scheme=scheme
     )
+
+
+def replay_issued_schedule(
+    scheme: str,
+    footprint_blocks: int,
+    issued: Sequence[Tuple[int, int, bool]],
+    config: Optional[SystemConfig] = None,
+    num_shards: int = 1,
+    *,
+    static_sbsize: Optional[int] = None,
+    workload: str = "serve",
+    parallel: bool = False,
+    checkpoint_dir: Optional[str] = None,
+) -> SimResult:
+    """Replay a serving front end's issued-access schedule.
+
+    :attr:`repro.serve.ServingFrontEnd.issued` records every ORAM access
+    the front end performed as ``(addr, issue_cycle, is_write)`` in issue
+    order.  Replaying that schedule through a fresh bank of the same shape
+    must merge to the exact SimResult the front end reported -- serially
+    (the default) or through a :class:`~repro.parallel.runtime.
+    ParallelShardRuntime` when ``parallel`` is set, which pins the front
+    end as a drop-in scheduler for the process-parallel executor.
+    """
+    if not parallel:
+        return run_serial_reference(
+            scheme,
+            footprint_blocks,
+            issued,
+            config,
+            num_shards,
+            static_sbsize=static_sbsize,
+            workload=workload,
+        )
+    from repro.parallel.runtime import ParallelShardRuntime
+
+    runtime = ParallelShardRuntime(
+        scheme,
+        footprint_blocks,
+        config,
+        num_shards,
+        static_sbsize=static_sbsize,
+        checkpoint_dir=checkpoint_dir,
+    )
+    try:
+        return runtime.run(issued, workload=workload)
+    finally:
+        runtime.close()

@@ -1,0 +1,266 @@
+"""Deterministic open- and closed-loop load generators.
+
+Both sources speak the same protocol the front-end event loop drives:
+
+* :meth:`LoadSource.next_arrival_cycle` -- peek the next arrival time;
+* :meth:`LoadSource.take_arrivals` -- pop every request due at/before a
+  cycle, in ``(cycle, req_id)`` order;
+* :meth:`LoadSource.on_completion` / :meth:`LoadSource.on_shed` --
+  completion feedback (the closed-loop source schedules each client's next
+  request from it; the open-loop source ignores it);
+* :attr:`LoadSource.exhausted` -- no arrival will *ever* surface again.
+
+Everything draws from forked :class:`~repro.utils.rng.DeterministicRng`
+streams, so a (source seed, front-end config, bank seed) triple replays
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from repro.serve.request import Request
+from repro.sim.trace import Trace
+from repro.utils.rng import DeterministicRng
+
+DEFAULT_DEADLINE = 30_000
+
+
+class LoadSource:
+    """Base: a deterministic time-ordered arrival heap."""
+
+    def __init__(self, num_tenants: int, weights: Optional[Sequence[int]] = None):
+        if num_tenants < 1:
+            raise ValueError("need at least one tenant")
+        self.num_tenants = num_tenants
+        self.weights: List[int] = list(weights) if weights else [1] * num_tenants
+        if len(self.weights) != num_tenants:
+            raise ValueError("one weight per tenant")
+        self._heap: List[Tuple[int, int, Request]] = []
+        self._next_id = 0
+        self._max_addr = -1
+
+    # -------------------------------------------------------------- scheduling
+    def _schedule(
+        self,
+        cycle: int,
+        tenant: int,
+        addr: int,
+        is_write: bool,
+        deadline: int,
+        client: int = -1,
+    ) -> Request:
+        request = Request(
+            req_id=self._next_id,
+            tenant=tenant,
+            addr=addr,
+            is_write=is_write,
+            arrival_cycle=cycle,
+            deadline_cycles=deadline,
+            client=client,
+        )
+        heapq.heappush(self._heap, (cycle, request.req_id, request))
+        self._next_id += 1
+        if addr > self._max_addr:
+            self._max_addr = addr
+        return request
+
+    # ---------------------------------------------------------------- protocol
+    def next_arrival_cycle(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def take_arrivals(self, now: int) -> List[Request]:
+        """Pop every request with ``arrival_cycle <= now``."""
+        due: List[Request] = []
+        while self._heap and self._heap[0][0] <= now:
+            due.append(heapq.heappop(self._heap)[2])
+        return due
+
+    def on_completion(self, request: Request, cycle: int) -> None:
+        """A request finished (default: open loop, nothing to do)."""
+
+    def on_shed(self, request: Request, cycle: int) -> None:
+        """A request was shed at admission (default: nothing to do)."""
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._heap
+
+
+class OpenLoopSource(LoadSource):
+    """Arrivals fixed up front; completions do not influence the stream."""
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        num_tenants: int = 1,
+        *,
+        weights: Optional[Sequence[int]] = None,
+        deadline_cycles: int = DEFAULT_DEADLINE,
+        load_scale: float = 1.0,
+    ) -> "OpenLoopSource":
+        """Offer a :class:`Trace` round-robin across ``num_tenants``.
+
+        Arrival times are the trace's cumulative compute gaps divided by
+        ``load_scale`` (2.0 = offer twice as fast).  The trace's incremental
+        ``write_fraction`` / ``total_gap_cycles`` feed the CLI banner.
+        """
+        if load_scale <= 0.0:
+            raise ValueError("load scale must be positive")
+        source = cls(num_tenants, weights)
+        now = 0.0
+        for index, (gap, addr, is_write) in enumerate(trace.entries):
+            now += gap / load_scale
+            source._schedule(
+                int(now), index % num_tenants, addr, bool(is_write),
+                deadline_cycles,
+            )
+        return source
+
+    @classmethod
+    def synthetic(
+        cls,
+        num_tenants: int,
+        requests_per_tenant: int,
+        *,
+        footprint_per_tenant: int = 2_048,
+        gap_mean: float = 200.0,
+        locality: float = 0.5,
+        write_fraction: float = 0.2,
+        deadline_cycles: int = DEFAULT_DEADLINE,
+        weights: Optional[Sequence[int]] = None,
+        seed: int = 42,
+    ) -> "OpenLoopSource":
+        """Multi-tenant synthetic mix over disjoint per-tenant regions.
+
+        Each tenant cyclically scans a ``locality`` fraction of its private
+        region and hits the rest uniformly at random (the section 5.3
+        pattern), with exponential inter-arrival gaps of ``gap_mean``
+        cycles -- the open-loop knob benchmarks sweep for offered load.
+        """
+        if requests_per_tenant < 1:
+            raise ValueError("need at least one request per tenant")
+        if footprint_per_tenant < 1:
+            raise ValueError("tenant regions need at least one block")
+        if not 0.0 <= locality <= 1.0:
+            raise ValueError("locality must be within [0, 1]")
+        source = cls(num_tenants, weights)
+        root = DeterministicRng(seed)
+        seq_blocks = int(footprint_per_tenant * locality)
+        if locality > 0.0 and seq_blocks == 0:
+            seq_blocks = 1
+        arrivals: List[Tuple[int, int, int, bool]] = []
+        for tenant in range(num_tenants):
+            rng = root.fork(17 + tenant)
+            base = tenant * footprint_per_tenant
+            pointer = 0
+            now = 0
+            for _ in range(requests_per_tenant):
+                now += rng.expovariate_int(gap_mean)
+                if seq_blocks > 0 and rng.random() < locality:
+                    offset = pointer
+                    pointer = (pointer + 1) % seq_blocks
+                elif seq_blocks >= footprint_per_tenant:
+                    offset = rng.randint(0, footprint_per_tenant - 1)
+                else:
+                    offset = rng.randint(seq_blocks, footprint_per_tenant - 1)
+                is_write = rng.random() < write_fraction
+                arrivals.append((now, tenant, base + offset, is_write))
+        # Global arrival order: by cycle, ties by tenant -- req_ids are
+        # assigned in that order so every downstream tie-break is stable.
+        arrivals.sort(key=lambda item: (item[0], item[1]))
+        for cycle, tenant, addr, is_write in arrivals:
+            source._schedule(cycle, tenant, addr, is_write, deadline_cycles)
+        return source
+
+    @property
+    def footprint_blocks(self) -> int:
+        """Smallest footprint covering every address ever scheduled.
+
+        Tracked at scheduling time (not read off the live heap), so the
+        value survives the run draining the arrivals.
+        """
+        return self._max_addr + 1
+
+
+class ClosedLoopSource(LoadSource):
+    """Fixed client population; each client thinks, issues, and blocks.
+
+    A client's next request is scheduled ``think`` cycles after its
+    previous one completes (or is shed -- a shed request still unblocks
+    the client, modelling a user retrying later), so offered load adapts
+    to service capacity like a real interactive population.
+    """
+
+    def __init__(
+        self,
+        num_tenants: int,
+        clients_per_tenant: int,
+        requests_per_client: int,
+        *,
+        footprint_per_tenant: int = 2_048,
+        think_mean: float = 500.0,
+        write_fraction: float = 0.2,
+        deadline_cycles: int = DEFAULT_DEADLINE,
+        weights: Optional[Sequence[int]] = None,
+        seed: int = 42,
+    ):
+        super().__init__(num_tenants, weights)
+        if clients_per_tenant < 1 or requests_per_client < 1:
+            raise ValueError("need at least one client and one request each")
+        if footprint_per_tenant < 1:
+            raise ValueError("tenant regions need at least one block")
+        self.deadline_cycles = deadline_cycles
+        self.write_fraction = write_fraction
+        self.footprint_per_tenant = footprint_per_tenant
+        root = DeterministicRng(seed)
+        self.think_mean = think_mean
+        self._rngs: List[DeterministicRng] = []
+        self._remaining: List[int] = []
+        self._tenant_of: List[int] = []
+        client = 0
+        for tenant in range(num_tenants):
+            for _ in range(clients_per_tenant):
+                rng = root.fork(1009 + client)
+                self._rngs.append(rng)
+                self._remaining.append(requests_per_client)
+                self._tenant_of.append(tenant)
+                self._issue_next(client, 0)
+                client += 1
+
+    def _issue_next(self, client: int, after_cycle: int) -> None:
+        rng = self._rngs[client]
+        tenant = self._tenant_of[client]
+        cycle = after_cycle + rng.expovariate_int(self.think_mean)
+        addr = tenant * self.footprint_per_tenant + rng.randint(
+            0, self.footprint_per_tenant - 1
+        )
+        is_write = rng.random() < self.write_fraction
+        self._remaining[client] -= 1
+        self._schedule(
+            cycle, tenant, addr, is_write, self.deadline_cycles, client=client
+        )
+
+    def _advance(self, request: Request, cycle: int) -> None:
+        client = request.client
+        if client >= 0 and self._remaining[client] > 0:
+            self._issue_next(client, cycle)
+
+    def on_completion(self, request: Request, cycle: int) -> None:
+        self._advance(request, cycle)
+
+    def on_shed(self, request: Request, cycle: int) -> None:
+        self._advance(request, cycle)
+
+    @property
+    def exhausted(self) -> bool:
+        # Clients blocked on an in-flight request will schedule again from
+        # completion feedback; only a drained heap with no credits left is
+        # truly done.
+        return not self._heap and all(r == 0 for r in self._remaining)
+
+    @property
+    def footprint_blocks(self) -> int:
+        return self.num_tenants * self.footprint_per_tenant

@@ -1,0 +1,98 @@
+"""Bounded per-tenant ingress queues with weighted-fair dequeue.
+
+Admission control and fairness live here, decoupled from batch formation:
+each tenant owns one bounded FIFO, and :meth:`TenantQueues.pop_where`
+picks the next tenant by *smooth weighted round-robin* -- every pick, each
+backlogged tenant's credit grows by its weight and the highest-credit
+tenant (ties break on the lower index) is served and debited by the total
+active weight.  The schedule is a pure function of the push/pop sequence,
+so the front end stays seed-deterministic, and over any busy window tenant
+``i`` receives service proportional to ``weight_i``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional, Sequence
+
+from repro.serve.request import Request
+
+
+class TenantQueues:
+    """N bounded FIFOs behind one weighted-fair dequeue surface.
+
+    Args:
+        weights: per-tenant service weights (positive integers).
+        capacity: per-tenant queue bound; :meth:`push` refuses (sheds)
+            beyond it.
+    """
+
+    def __init__(self, weights: Sequence[int], capacity: int):
+        if not weights:
+            raise ValueError("need at least one tenant")
+        if any(w < 1 for w in weights):
+            raise ValueError("tenant weights must be positive")
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.weights: List[int] = list(weights)
+        self.capacity = capacity
+        self._queues: List[deque] = [deque() for _ in weights]
+        self._credit: List[int] = [0] * len(self.weights)
+        #: high-water mark per tenant (exported as queue-depth gauges)
+        self.peak_depth: List[int] = [0] * len(self.weights)
+
+    # ------------------------------------------------------------------ state
+    @property
+    def num_tenants(self) -> int:
+        return len(self._queues)
+
+    def depth(self, tenant: int) -> int:
+        return len(self._queues[tenant])
+
+    def total_depth(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def __bool__(self) -> bool:
+        return any(self._queues)
+
+    # ------------------------------------------------------------------- push
+    def push(self, request: Request) -> bool:
+        """Enqueue unless the tenant's bound is hit; False means shed."""
+        queue = self._queues[request.tenant]
+        if len(queue) >= self.capacity:
+            return False
+        queue.append(request)
+        if len(queue) > self.peak_depth[request.tenant]:
+            self.peak_depth[request.tenant] = len(queue)
+        return True
+
+    # -------------------------------------------------------------------- pop
+    def pop_where(
+        self, eligible: Optional[Callable[[Request], bool]] = None
+    ) -> Optional[Request]:
+        """Weighted-fair pop of the next head request passing ``eligible``.
+
+        Tenants whose head request fails the predicate (e.g. its target
+        shard's batch is full) are skipped *without* accruing credit for
+        the pick, so a blocked tenant neither starves the others nor banks
+        unbounded priority while blocked.  Returns None when no eligible
+        head exists.
+        """
+        candidates = [
+            tenant
+            for tenant, queue in enumerate(self._queues)
+            if queue and (eligible is None or eligible(queue[0]))
+        ]
+        if not candidates:
+            return None
+        total = 0
+        best = -1
+        best_credit = 0
+        for tenant in candidates:
+            self._credit[tenant] += self.weights[tenant]
+            total += self.weights[tenant]
+            if best < 0 or self._credit[tenant] > best_credit:
+                best = tenant
+                best_credit = self._credit[tenant]
+        self._credit[best] -= total
+        return self._queues[best].popleft()

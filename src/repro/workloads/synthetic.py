@@ -40,7 +40,14 @@ def locality_mix_trace(
     if not 0.0 <= locality <= 1.0:
         raise ValueError("locality must be within [0, 1]")
     rng = DeterministicRng(seed)
+    # "X% locality" must mean X% of both data and accesses even on tiny
+    # footprints: int() truncation used to round small sequential regions
+    # down to zero blocks, silently degenerating e.g. 5%-locality-over-10-
+    # blocks to pure random.  Any nonzero locality keeps >= 1 sequential
+    # block so the access-proportion draw below stays meaningful.
     seq_blocks = int(footprint_blocks * locality)
+    if locality > 0.0 and seq_blocks == 0:
+        seq_blocks = 1
     trace = Trace(
         name=f"locality_{int(round(locality * 100))}",
         footprint_blocks=footprint_blocks,
@@ -57,6 +64,7 @@ def locality_mix_trace(
             else:
                 addr = rng.randint(seq_blocks, footprint_blocks - 1)
         trace.entries.append((gap, addr, 0))
+    assert len(trace) == accesses
     return trace
 
 
@@ -77,13 +85,17 @@ def phase_change_trace(
         raise ValueError("need at least one phase")
     rng = DeterministicRng(seed)
     half = footprint_blocks // 2
-    per_phase = accesses // num_phases
+    # accesses // num_phases alone drops the remainder, silently returning
+    # a shorter trace whenever accesses % num_phases != 0; spread the
+    # remainder one access at a time over the leading phases instead.
+    per_phase, leftover = divmod(accesses, num_phases)
     trace = Trace(name="phase_change", footprint_blocks=footprint_blocks)
     pointer = 0
     for phase in range(num_phases):
         seq_base = 0 if phase % 2 == 0 else half
         rand_base = half if phase % 2 == 0 else 0
-        for _ in range(per_phase):
+        phase_accesses = per_phase + (1 if phase < leftover else 0)
+        for _ in range(phase_accesses):
             gap = rng.expovariate_int(gap_mean)
             if rng.random() < 0.5:
                 addr = seq_base + pointer
@@ -91,6 +103,7 @@ def phase_change_trace(
             else:
                 addr = rand_base + rng.randint(0, half - 1)
             trace.entries.append((gap, addr, 0))
+    assert len(trace) == accesses
     return trace
 
 
@@ -106,6 +119,7 @@ def sequential_trace(
     for i in range(accesses):
         gap = rng.expovariate_int(gap_mean)
         trace.entries.append((gap, i % footprint_blocks, 0))
+    assert len(trace) == accesses
     return trace
 
 
@@ -121,4 +135,5 @@ def uniform_random_trace(
     for _ in range(accesses):
         gap = rng.expovariate_int(gap_mean)
         trace.entries.append((gap, rng.randint(0, footprint_blocks - 1), 0))
+    assert len(trace) == accesses
     return trace

@@ -42,6 +42,70 @@ class TestTrace:
         assert trace.total_gap_cycles == 0
 
 
+class TestIncrementalSums:
+    """total_gap_cycles / write_fraction stay O(1) yet always correct."""
+
+    @staticmethod
+    def recomputed(trace):
+        gaps = sum(e[0] for e in trace.entries)
+        writes = sum(e[2] for e in trace.entries)
+        return gaps, writes / len(trace.entries) if trace.entries else 0.0
+
+    def test_append_keeps_sums_in_sync(self):
+        trace = Trace("t", footprint_blocks=32)
+        for i in range(20):
+            trace.append(i, i % 32, is_write=(i % 3 == 0))
+            gaps, frac = self.recomputed(trace)
+            assert trace.total_gap_cycles == gaps
+            assert trace.write_fraction == pytest.approx(frac)
+
+    def test_extend_validates_and_sums_once(self):
+        trace = Trace("t", footprint_blocks=8)
+        trace.extend([(1, 2, 0), (3, 4, 1)])
+        assert trace.total_gap_cycles == 4
+        assert trace.write_fraction == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            trace.extend([(0, 8, 0)])  # out-of-footprint rejected
+        assert len(trace) == 2  # nothing partial slipped in before the bad entry
+
+    def test_extend_rejects_before_mutating(self):
+        trace = Trace("t", footprint_blocks=8)
+        with pytest.raises(ValueError):
+            trace.extend([(0, 1, 0), (0, 99, 0)])
+        assert len(trace) == 0
+        assert trace.total_gap_cycles == 0
+
+    def test_direct_entries_append_lazily_absorbed(self):
+        # Generators push raw tuples straight onto trace.entries; the
+        # cached sums must absorb that suffix on the next property read.
+        trace = Trace("t", footprint_blocks=16)
+        trace.append(5, 1)
+        assert trace.total_gap_cycles == 5
+        trace.entries.append((7, 2, 1))
+        trace.entries.append((9, 3, 0))
+        assert trace.total_gap_cycles == 21
+        assert trace.write_fraction == pytest.approx(1 / 3)
+        trace.append(4, 4, is_write=True)
+        assert trace.total_gap_cycles == 25
+        assert trace.write_fraction == pytest.approx(2 / 4)
+
+    def test_entries_truncation_forces_recompute(self):
+        trace = Trace("t", footprint_blocks=16)
+        trace.extend([(10, 1, 1), (20, 2, 0), (30, 3, 1)])
+        assert trace.total_gap_cycles == 60
+        del trace.entries[1:]
+        assert trace.total_gap_cycles == 10
+        assert trace.write_fraction == pytest.approx(1.0)
+
+    def test_entries_replacement_forces_recompute(self):
+        trace = Trace("t", footprint_blocks=16)
+        trace.extend([(10, 1, 1), (20, 2, 0)])
+        assert trace.total_gap_cycles == 30
+        trace.entries = [(1, 1, 0)]
+        assert trace.total_gap_cycles == 1
+        assert trace.write_fraction == pytest.approx(0.0)
+
+
 class TestIO:
     def test_save_load_roundtrip(self, tmp_path):
         trace = Trace("myworkload", footprint_blocks=32)

@@ -119,6 +119,57 @@ class TestSynthetic:
         assert len(set(e[1] for e in rand.entries)) > 50
 
 
+class TestGeneratorContracts:
+    """Every generator honors its length and footprint exactly."""
+
+    GENERATORS = [
+        lambda fp, n: locality_mix_trace(0.37, footprint_blocks=fp, accesses=n),
+        lambda fp, n: locality_mix_trace(0.0, footprint_blocks=fp, accesses=n),
+        lambda fp, n: locality_mix_trace(1.0, footprint_blocks=fp, accesses=n),
+        lambda fp, n: phase_change_trace(
+            num_phases=7, footprint_blocks=fp, accesses=n
+        ),
+        lambda fp, n: sequential_trace(footprint_blocks=fp, accesses=n),
+        lambda fp, n: uniform_random_trace(footprint_blocks=fp, accesses=n),
+    ]
+
+    @pytest.mark.parametrize("gen_index", range(len(GENERATORS)))
+    @pytest.mark.parametrize("footprint,accesses", [
+        (16, 1), (100, 97), (1024, 1000), (10, 333),
+    ])
+    def test_exact_length_and_footprint(self, gen_index, footprint, accesses):
+        trace = self.GENERATORS[gen_index](footprint, accesses)
+        assert len(trace) == accesses
+        assert all(0 <= addr < footprint for _, addr, _ in trace.entries)
+
+    @pytest.mark.parametrize("num_phases", [1, 3, 7, 9, 13])
+    def test_phase_change_distributes_remainder(self, num_phases):
+        # 1000 % 7 == 6 etc. -- the remainder used to be silently dropped.
+        trace = phase_change_trace(
+            num_phases=num_phases, footprint_blocks=64, accesses=1000
+        )
+        assert len(trace) == 1000
+
+    def test_tiny_footprint_locality_not_degenerate(self):
+        # int(10 * 0.05) == 0 used to collapse 5%-locality to pure random;
+        # the sequential region must survive as >= 1 block.
+        trace = locality_mix_trace(
+            0.05, footprint_blocks=10, accesses=4000, seed=5
+        )
+        hits_block0 = sum(1 for _, addr, _ in trace.entries if addr == 0)
+        # block 0 is the whole sequential region: it gets the ~5% of
+        # accesses routed there *plus* nothing from the random region,
+        # which draws from blocks 1..9 only.
+        assert hits_block0 == pytest.approx(0.05 * 4000, rel=0.4)
+        random_region = [addr for _, addr, _ in trace.entries if addr != 0]
+        assert min(random_region) >= 1
+
+    def test_full_locality_on_one_block(self):
+        trace = locality_mix_trace(1.0, footprint_blocks=1, accesses=50)
+        assert len(trace) == 50
+        assert all(addr == 0 for _, addr, _ in trace.entries)
+
+
 class TestDBMS:
     def test_ycsb_rows_are_aligned_runs(self):
         trace = ycsb_trace(num_records=64, operations=100)
