@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast profile shards parallel interconnect trace serve soak chaos examples gallery audit clean
+.PHONY: install test bench bench-fast profile shards parallel interconnect treetop trace serve soak chaos examples gallery audit clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,6 +34,10 @@ parallel:
 interconnect:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_interconnect.py
 	PYTHONPATH=src $(PYTHON) -m repro run -w locality:80 -s dyn --accesses 20000 --warmup 0 --dram-model channel --channels 4
+
+treetop:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_treetop.py
+	PYTHONPATH=src $(PYTHON) -m repro run -w locality:80 -s dyn --accesses 20000 --warmup 0 --dram-model channel --channels 4 --treetop 4
 
 trace:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_trace_overhead.py

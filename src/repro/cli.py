@@ -154,7 +154,16 @@ def _trace_out_path(template: str, scheme: str, schemes: List[str]) -> str:
 
 
 def _dram_config(args, config):
-    """Apply ``--dram-model`` / ``--channels`` to an experiment config."""
+    """Apply ``--dram-model`` / ``--channels`` / ``--treetop`` to an
+    experiment config."""
+    treetop = getattr(args, "treetop", None)
+    if treetop is not None:
+        try:
+            config = replace(
+                config, oram=replace(config.oram, treetop_levels=treetop)
+            )
+        except ValueError as exc:
+            raise SystemExit(f"--treetop: {exc}")
     model = getattr(args, "dram_model", None)
     channels = getattr(args, "channels", None)
     if model is None and channels is None:
@@ -600,10 +609,14 @@ def cmd_serve(args) -> int:
         coalesce=not args.no_coalesce,
     )
     workload = f"serve_{args.mode}"
+    # One shared config for the live bank AND the replay check below --
+    # a --treetop override must shape both identically or the replayed
+    # SimResult diverges on public timing alone.
+    config = _dram_config(args, experiment_config())
     frontend = ServingFrontEnd.build(
         scheme,
         source.footprint_blocks,
-        experiment_config(),
+        config,
         args.shards,
         serve_config=serve_config,
         health_policy=health_policy,
@@ -636,7 +649,7 @@ def cmd_serve(args) -> int:
             scheme,
             source.footprint_blocks,
             frontend.issued,
-            experiment_config(),
+            config,
             args.shards,
             workload=workload,
             parallel=True,
@@ -786,6 +799,16 @@ def make_parser() -> argparse.ArgumentParser:
         help="DRAM channels for the channel interconnect (implies "
         "--dram-model channel; bandwidth_gbps is per channel)",
     )
+    run_p.add_argument(
+        "--treetop",
+        dest="treetop",
+        type=int,
+        default=None,
+        metavar="K",
+        help="pin the top K levels of the nominal ORAM tree in on-chip "
+        "SRAM; every path access streams only the bottom levels "
+        "(DESIGN.md §13)",
+    )
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="parameter sweeps (locality/stash/z)")
@@ -878,6 +901,15 @@ def make_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="DRAM channels per shard (implies --dram-model channel)",
     )
+    parallel_p.add_argument(
+        "--treetop",
+        dest="treetop",
+        type=int,
+        default=None,
+        metavar="K",
+        help="pin the top K nominal tree levels on-chip in every shard "
+        "(see `run`)",
+    )
     parallel_p.set_defaults(func=cmd_parallel)
 
     serve_p = sub.add_parser(
@@ -948,6 +980,15 @@ def make_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--metrics", action="store_true",
                          help="print the serve.* metrics registry")
     serve_p.add_argument("--seed", type=int, default=42)
+    serve_p.add_argument(
+        "--treetop",
+        dest="treetop",
+        type=int,
+        default=None,
+        metavar="K",
+        help="pin the top K nominal tree levels on-chip in every shard "
+        "(see `run`)",
+    )
     serve_p.set_defaults(func=cmd_serve)
 
     chaos_p = sub.add_parser(

@@ -45,6 +45,14 @@ class ORAMConfig:
             into a 128 B block).
         posmap_cache_entries: on-chip unified-ORAM PosMap block cache (PLB)
             capacity, in PosMap blocks.
+        treetop_levels: top levels of the tree pinned in on-chip SRAM
+            (the treetop cache, DESIGN.md section 13).  Every path access
+            touches all of them, so pinning the top ``k`` levels leaks
+            nothing and shrinks every path transfer to the bottom
+            ``L - k`` levels.  ``0`` (the default) disables the cache and
+            is bit-identical to the pre-treetop simulator.  Validated
+            against the *nominal* tree height: the truncated public path
+            cost must keep at least one off-chip level.
     """
 
     capacity_bytes: int = 8 * 1024**3
@@ -57,6 +65,7 @@ class ORAMConfig:
     max_super_block_size: int = 2
     posmap_entries_per_block: int = 32
     posmap_cache_entries: int = 128
+    treetop_levels: int = 0
 
     def __post_init__(self) -> None:
         if self.levels < 1:
@@ -69,6 +78,18 @@ class ORAMConfig:
             raise ValueError("max super block size must be a power of two")
         if not 0.0 < self.utilization <= 1.0:
             raise ValueError("utilization must be in (0, 1]")
+        if self.treetop_levels < 0:
+            raise ValueError("treetop levels cannot be negative")
+        # Validate against the nominal tree (the one timing is charged
+        # for), not the functional tree: scaled_to_footprint() shrinks
+        # ``levels`` for small workloads and the functional attach point
+        # caps itself, but the nominal truncation must keep at least one
+        # level streaming off-chip.
+        if self.treetop_levels and self.treetop_levels >= self.nominal_levels:
+            raise ValueError(
+                f"treetop_levels={self.treetop_levels} must be smaller than "
+                f"the nominal tree height ({self.nominal_levels} levels)"
+            )
 
     @property
     def num_leaves(self) -> int:

@@ -87,10 +87,17 @@ def _fsck_path_oram(oram, max_errors: int = 16) -> FsckReport:
     * every block appears exactly once across tree + stash;
     * every block's leaf field matches its position map entry;
     * every tree-resident block sits on the path of its mapped leaf;
-    * the total block count equals the position map's block count
-      (nothing lost, nothing forged);
+    * every position-map address resolves to exactly one location
+      (missing addresses are reported by name, not just as a census
+      delta);
     * for Merkle-verified ORAMs: a from-scratch recomputation of the hash
       tree reproduces the trusted root.
+
+    One address -> location index is built in a single tree walk and
+    reused by every later check: the audit is O(B) in the total block
+    count.  (An earlier revision re-scanned the tree per address --
+    ``ORAMTree.find()`` style O(N * B) -- which made post-recovery audits
+    of large shards the slowest step of the recovery ladder.)
 
     Error accumulation stops at ``max_errors`` (a badly mangled tree would
     otherwise produce one error per block).
@@ -106,13 +113,16 @@ def _fsck_path_oram(oram, max_errors: int = 16) -> FsckReport:
     tree = oram.tree
     posmap = oram.position_map
     z = oram.config.bucket_size
+    # Pass 1 -- the only full tree walk: bucket bounds, duplicate
+    # detection, and the address -> (location, block) index every
+    # subsequent check reuses.
     seen: Dict[int, str] = {}
+    located: Dict[int, tuple] = {}  # addr -> (bucket index | None, block)
     for index in range(tree.num_buckets):
         bucket = tree.bucket(index)
         if len(bucket) > z:
             if record(f"bucket {index} holds {len(bucket)} blocks > Z={z}"):
                 return report
-        level = (index + 1).bit_length() - 1
         for block in bucket:
             report.blocks_in_tree += 1
             if not 0 <= block.addr < report.expected_blocks:
@@ -127,18 +137,7 @@ def _fsck_path_oram(oram, max_errors: int = 16) -> FsckReport:
                     return report
                 continue
             seen[block.addr] = f"tree bucket {index}"
-            mapped = posmap.leaf(block.addr)
-            if block.leaf != mapped:
-                if record(
-                    f"block {block.addr}: tree copy leaf {block.leaf} != "
-                    f"posmap leaf {mapped}"
-                ):
-                    return report
-            if tree.bucket_index(level, mapped) != index:
-                if record(
-                    f"block {block.addr} (leaf {mapped}) off-path at bucket {index}"
-                ):
-                    return report
+            located[block.addr] = (index, block)
     for addr, block in oram.stash.items():
         report.blocks_in_stash += 1
         if addr in seen:
@@ -146,10 +145,31 @@ def _fsck_path_oram(oram, max_errors: int = 16) -> FsckReport:
                 return report
             continue
         seen[addr] = "stash"
+        located[addr] = (None, block)
+    # Pass 2 -- per-address invariants, all answered from the index (dict
+    # lookups, no tree scans): presence, leaf agreement, path placement.
+    for addr in range(report.expected_blocks):
+        location = located.get(addr)
+        if location is None:
+            if record(f"block {addr} missing from both tree and stash"):
+                return report
+            continue
+        index, block = location
         mapped = posmap.leaf(addr)
         if block.leaf != mapped:
-            if record(f"stash block {addr}: leaf {block.leaf} != posmap {mapped}"):
+            where = "stash" if index is None else f"tree bucket {index}"
+            if record(
+                f"block {addr} ({where}): copy leaf {block.leaf} != "
+                f"posmap leaf {mapped}"
+            ):
                 return report
+        if index is not None:
+            level = (index + 1).bit_length() - 1
+            if tree.bucket_index(level, mapped) != index:
+                if record(
+                    f"block {addr} (leaf {mapped}) off-path at bucket {index}"
+                ):
+                    return report
     if len(seen) != report.expected_blocks:
         record(
             f"block census mismatch: {len(seen)} distinct blocks found, "

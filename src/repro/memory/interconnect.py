@@ -64,6 +64,15 @@ class MemoryInterconnect:
     path_cycles: int
     bytes_per_path: int
 
+    def path_cycles_for(self, levels: int) -> int:
+        """Public cost of a path access streaming ``levels`` bucket-levels.
+
+        ``path_cycles == path_cycles_for(offchip_levels)`` where
+        ``offchip_levels = nominal_levels + 1 - treetop_levels`` -- the
+        treetop cache truncates every path to its off-chip suffix.
+        """
+        raise NotImplementedError
+
     def path_completion(self, leaf: int, start: int) -> int:
         """Completion cycle of a path access to ``leaf`` issued at ``start``."""
         raise NotImplementedError
@@ -92,29 +101,50 @@ class MemoryInterconnect:
 
 
 class FlatInterconnect(MemoryInterconnect):
-    """The paper's flat model: every path access costs ``path_cycles``."""
+    """The paper's flat model: every path access costs ``path_cycles``.
+
+    With a treetop cache (``oram.treetop_levels > 0``) the scalar is the
+    *truncated* path cost: the top ``k`` levels are served from on-chip
+    SRAM, so only ``nominal_levels + 1 - k`` buckets cross the pins.  At
+    ``k = 0`` this is bit-identical to the untruncated model.
+    """
 
     model = "flat"
 
     def __init__(self, oram: ORAMConfig, dram: DRAMConfig):
-        timing = ORAMTimingModel.from_config(oram, dram)
-        self.path_cycles = timing.path_cycles
-        self.bytes_per_path = timing.bytes_per_path
+        self._timing = timing = ORAMTimingModel.from_config(oram, dram)
+        self.treetop_levels = oram.treetop_levels
+        self.offchip_levels = oram.nominal_levels + 1 - oram.treetop_levels
+        self.path_cycles = timing.path_cycles_for(self.offchip_levels)
+        self.bytes_per_path = self.offchip_levels * timing.bucket_bytes
         self.streamed_paths = 0
         self.untracked_paths = 0
+        self.treetop_hits = 0
+        self.treetop_bytes_saved = 0
+
+    def path_cycles_for(self, levels: int) -> int:
+        return self._timing.path_cycles_for(levels)
 
     def path_completion(self, leaf: int, start: int) -> int:
         self.streamed_paths += 1
+        self.treetop_hits += self.treetop_levels
+        self.treetop_bytes_saved += self.treetop_levels * self._timing.bucket_bytes
         return start + self.path_cycles
 
     def note_untracked(self, count: int) -> None:
         self.untracked_paths += count
+        self.treetop_hits += self.treetop_levels * count
+        self.treetop_bytes_saved += (
+            self.treetop_levels * self._timing.bucket_bytes * count
+        )
 
     def summary(self) -> Dict[str, int]:
         return {
             "channels": 1,
             "streamed_paths": self.streamed_paths,
             "untracked_paths": self.untracked_paths,
+            "treetop_hits": self.treetop_hits,
+            "treetop_bytes_saved": self.treetop_bytes_saved,
         }
 
     def to_registry(
@@ -123,6 +153,10 @@ class FlatInterconnect(MemoryInterconnect):
         registry.gauge(f"{prefix}.path_cycles").set(self.path_cycles)
         registry.counter(f"{prefix}.streamed_paths").set(self.streamed_paths)
         registry.counter(f"{prefix}.untracked_paths").set(self.untracked_paths)
+        registry.counter(f"{prefix}.treetop_hits").set(self.treetop_hits)
+        registry.counter(f"{prefix}.treetop_bytes_saved").set(
+            self.treetop_bytes_saved
+        )
 
 
 class ChannelState:
@@ -258,32 +292,60 @@ class ChannelInterconnect(MemoryInterconnect):
         self._leaf_shift = max(0, levels - oram.levels)
         #: bytes moved per bucket: Z blocks, read + write-back
         self.bucket_bytes = oram.bucket_size * oram.block_bytes * 2
-        self.bytes_per_path = (levels + 1) * self.bucket_bytes
+        #: pinned nominal levels (the treetop cache); the plan streams only
+        #: levels >= treetop_levels, so DRAM tiers fully inside the treetop
+        #: never issue a bank request.
+        self.treetop_levels = oram.treetop_levels
+        self.offchip_levels = levels + 1 - oram.treetop_levels
+        self.bytes_per_path = self.offchip_levels * self.bucket_bytes
         self.num_channels = dram.num_channels
-        self.path_cycles = dram.latency_cycles + int(
-            math.ceil(self.bytes_per_path / (dram.num_channels * dram.bytes_per_cycle))
-        )
+        self.path_cycles = self.path_cycles_for(self.offchip_levels)
         self.channels = [ChannelState(dram) for _ in range(dram.num_channels)]
         self.streamed_paths = 0
         self.untracked_paths = 0
         self.streamed_cycles_total = 0
         self.last_completion = 0
+        self.treetop_hits = 0
+        self.treetop_bytes_saved = 0
         # leaf -> ((channel, ((bank, row), ...), transfer_cycles, bytes), ...)
         self._plans: Dict[
             int, Tuple[Tuple[int, Tuple[Tuple[int, int], ...], int, int], ...]
         ] = {}
 
+    def path_cycles_for(self, levels: int) -> int:
+        """Idle-memory completion of a balanced path of ``levels`` buckets."""
+        if levels < 1:
+            raise ValueError("a path access must stream at least one level")
+        dram = self.dram
+        return dram.latency_cycles + max(
+            1,
+            int(
+                math.ceil(
+                    levels
+                    * self.bucket_bytes
+                    / (dram.num_channels * dram.bytes_per_cycle)
+                )
+            ),
+        )
+
     def _plan(
         self, leaf: int
     ) -> Tuple[Tuple[int, Tuple[Tuple[int, int], ...], int, int], ...]:
-        """Per-channel request streams for the path to a functional leaf."""
+        """Per-channel request streams for the path to a functional leaf.
+
+        Only the off-chip suffix of the path (nominal levels
+        ``>= treetop_levels``) is planned: subtree tiles that lie entirely
+        inside the treetop contribute no bank request at all, and a tile
+        straddling the boundary is activated once for its off-chip part.
+        """
         plan = self._plans.get(leaf)
         if plan is not None:
             return plan
         nominal_leaf = leaf << self._leaf_shift
         accesses: Dict[int, List[Tuple[int, int]]] = {}
         path_bytes: Dict[int, int] = {}
-        for address in self.layout.path_addresses(nominal_leaf):
+        addresses = self.layout.path_addresses(nominal_leaf)[self.treetop_levels:]
+        for address in addresses:
             requests = accesses.setdefault(address.channel, [])
             # Buckets in the same subtree tile share a (bank, row): one
             # row activation streams the whole tile segment.
@@ -324,12 +386,16 @@ class ChannelInterconnect(MemoryInterconnect):
                 completion = channel_done
         self.streamed_paths += 1
         self.streamed_cycles_total += completion - start
+        self.treetop_hits += self.treetop_levels
+        self.treetop_bytes_saved += self.treetop_levels * self.bucket_bytes
         if completion > self.last_completion:
             self.last_completion = completion
         return completion
 
     def note_untracked(self, count: int) -> None:
         self.untracked_paths += count
+        self.treetop_hits += self.treetop_levels * count
+        self.treetop_bytes_saved += self.treetop_levels * self.bucket_bytes * count
 
     def summary(self) -> Dict[str, int]:
         return {
@@ -340,6 +406,8 @@ class ChannelInterconnect(MemoryInterconnect):
             "row_hits": sum(c.row_hits for c in self.channels),
             "row_misses": sum(c.row_misses for c in self.channels),
             "bank_wait_cycles": sum(c.bank_wait_cycles for c in self.channels),
+            "treetop_hits": self.treetop_hits,
+            "treetop_bytes_saved": self.treetop_bytes_saved,
         }
 
     def to_registry(
@@ -349,6 +417,10 @@ class ChannelInterconnect(MemoryInterconnect):
         registry.gauge(f"{prefix}.num_channels").set(self.num_channels)
         registry.counter(f"{prefix}.streamed_paths").set(self.streamed_paths)
         registry.counter(f"{prefix}.untracked_paths").set(self.untracked_paths)
+        registry.counter(f"{prefix}.treetop_hits").set(self.treetop_hits)
+        registry.counter(f"{prefix}.treetop_bytes_saved").set(
+            self.treetop_bytes_saved
+        )
         if self.streamed_paths:
             registry.histogram(f"{prefix}.path_stream_cycles").record(
                 self.streamed_cycles_total // self.streamed_paths
@@ -375,6 +447,8 @@ class ChannelInterconnect(MemoryInterconnect):
             "untracked_paths": self.untracked_paths,
             "streamed_cycles_total": self.streamed_cycles_total,
             "last_completion": self.last_completion,
+            "treetop_hits": self.treetop_hits,
+            "treetop_bytes_saved": self.treetop_bytes_saved,
             "channels": [channel.state_dict() for channel in self.channels],
         }
 
@@ -389,6 +463,9 @@ class ChannelInterconnect(MemoryInterconnect):
         self.untracked_paths = int(state["untracked_paths"])
         self.streamed_cycles_total = int(state["streamed_cycles_total"])
         self.last_completion = int(state["last_completion"])
+        # Pre-treetop checkpoints lack the counters; they restart at zero.
+        self.treetop_hits = int(state.get("treetop_hits", 0))
+        self.treetop_bytes_saved = int(state.get("treetop_bytes_saved", 0))
         for channel, channel_state in zip(self.channels, saved):
             channel.load_state_dict(channel_state)
 

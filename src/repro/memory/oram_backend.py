@@ -334,7 +334,18 @@ class ORAMBackend(MemoryBackend):
         self.scheme.on_llc_hit(addr)
 
     def finalize(self, now: int) -> None:
-        """Nothing to flush; windowed statistics roll on request boundaries."""
+        """End-of-run housekeeping: drain the treetop write-back queue.
+
+        Dirty treetop buckets are written back to the DRAM image here
+        (and opportunistically whenever the tree flushes between runs).
+        The write-back is charged off the critical path -- it drains in
+        idle bus cycles the serialized-access model already leaves free
+        (DESIGN.md section 13) -- so no cycles are added to ``now``.
+        Windowed statistics roll on request boundaries as before.
+        """
+        flush = getattr(self.oram.tree, "flush_treetop", None)
+        if flush is not None:
+            flush()
 
     # ------------------------------------------------------------------ stats
     @property

@@ -162,5 +162,7 @@ class PeriodicORAMBackend(ORAMBackend):
         self._schedule_after(slot, completion)
 
     def finalize(self, now: int) -> None:
-        """Account the dummy slots up to the end of the run."""
+        """Account the dummy slots up to the end of the run, then let the
+        base backend drain the treetop write-back queue."""
         self._advance_to(now)
+        super().finalize(now)

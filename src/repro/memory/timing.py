@@ -36,18 +36,45 @@ def transfer_cycles(dram: DRAMConfig, nbytes: int) -> int:
 
 @dataclass(frozen=True)
 class ORAMTimingModel:
-    """Charges cycle costs for path accesses of the nominal ORAM."""
+    """Charges cycle costs for path accesses of the nominal ORAM.
+
+    ``path_cycles`` is the full-path cost; :meth:`path_cycles_for` prices
+    a *truncated* path -- the treetop cache pins the top ``k`` levels
+    on-chip, so every access streams only ``nominal_levels + 1 - k``
+    buckets over the pins (DESIGN.md section 13).
+    """
 
     path_cycles: int
     bytes_per_path: int
+    #: bytes one bucket moves per path access (Z blocks, read + write-back)
+    bucket_bytes: int = 0
+    latency_cycles: int = 0
+    bytes_per_cycle: float = 0.0
 
     @classmethod
     def from_config(cls, oram: ORAMConfig, dram: DRAMConfig) -> "ORAMTimingModel":
         levels = oram.nominal_levels
-        bytes_per_path = (levels + 1) * oram.bucket_size * oram.block_bytes * 2
+        bucket_bytes = oram.bucket_size * oram.block_bytes * 2
+        bytes_per_path = (levels + 1) * bucket_bytes
         return cls(
             path_cycles=transfer_cycles(dram, bytes_per_path) + dram.latency_cycles,
             bytes_per_path=bytes_per_path,
+            bucket_bytes=bucket_bytes,
+            latency_cycles=dram.latency_cycles,
+            bytes_per_cycle=dram.bytes_per_cycle,
+        )
+
+    def path_cycles_for(self, levels: int) -> int:
+        """Public cost of a path access streaming ``levels`` bucket-levels.
+
+        ``path_cycles_for(nominal_levels + 1)`` reproduces ``path_cycles``
+        exactly (same ceil, same latency), so a zero-level treetop is
+        bit-identical to the untruncated model.
+        """
+        if levels < 1:
+            raise ValueError("a path access must stream at least one level")
+        return self.latency_cycles + max(
+            1, int(math.ceil(levels * self.bucket_bytes / self.bytes_per_cycle))
         )
 
     def access_cycles(self, path_accesses: int = 1) -> int:

@@ -23,6 +23,16 @@ from .recorder import InMemoryRecorder
 from .spans import is_span
 
 
+def _treetop_flushes(registry: MetricsRegistry, prefix: str, oram) -> None:
+    """Export ``{prefix}.treetop_flushes`` / ``.treetop_flushed_buckets``
+    when the controller's tree carries a treetop cache."""
+    cache = getattr(getattr(oram, "tree", None), "treetop", None)
+    if cache is None:
+        return
+    registry.counter(f"{prefix}.treetop_flushes").set(cache.flushes)
+    registry.counter(f"{prefix}.treetop_flushed_buckets").set(cache.flushed_buckets)
+
+
 def collect_system(system, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
     """Sample every component counter of a finished system run.
 
@@ -69,16 +79,25 @@ def collect_system(system, registry: Optional[MetricsRegistry] = None) -> Metric
             health.to_registry(registry)
 
     # Memory-interconnect occupancy: per-channel gauges/counters for a
-    # single controller, per-shard prefixes for a sharded bank.
+    # single controller, per-shard prefixes for a sharded bank.  The
+    # treetop flush counter lives on the functional tree (write-back is a
+    # tree-side event) but is exported under the interconnect namespace
+    # next to its hit/bytes-saved siblings.
     interconnect = getattr(backend, "interconnect", None)
     if interconnect is not None:
         interconnect.to_registry(registry)
+        _treetop_flushes(registry, "interconnect", getattr(backend, "oram", None))
     elif hasattr(backend, "shards"):
         for index, shard in enumerate(backend.shards):
             shard_interconnect = getattr(shard, "interconnect", None)
             if shard_interconnect is not None:
                 shard_interconnect.to_registry(
                     registry, prefix=f"interconnect.shard{index}"
+                )
+                _treetop_flushes(
+                    registry,
+                    f"interconnect.shard{index}",
+                    getattr(shard, "oram", None),
                 )
 
     injector = getattr(backend, "injector", None)

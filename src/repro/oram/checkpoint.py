@@ -80,6 +80,7 @@ def _oram_state_dict(oram: PathORAM) -> dict:
             "max_super_block_size": config.max_super_block_size,
             "posmap_entries_per_block": config.posmap_entries_per_block,
             "posmap_cache_entries": config.posmap_cache_entries,
+            "treetop_levels": config.treetop_levels,
         },
         "leaves": [posmap.leaf(a) for a in range(n)],
         "merge_bits": [posmap.merge_bit(a) for a in range(n)],
@@ -96,6 +97,23 @@ def _oram_state_dict(oram: PathORAM) -> dict:
             "stash_soft_overflows": oram.stash_soft_overflows,
         },
     }
+    cache = oram.tree.treetop
+    if cache is not None:
+        # "buckets" above already carries the *live* contents (bucket()
+        # reads through the on-chip store); this section additionally
+        # captures the stale off-chip image and the dirty set so a restore
+        # reproduces the exact write-back state.
+        state["treetop"] = {
+            "levels": cache.levels,
+            "dirty": [i for i in range(cache.num_buckets) if cache.dirty[i]],
+            "image": [
+                [_encode_block(b) for b in oram.tree._buckets[i]]
+                for i in range(cache.num_buckets)
+            ],
+            "hits": cache.hits,
+            "flushes": cache.flushes,
+            "flushed_buckets": cache.flushed_buckets,
+        }
     return state
 
 
@@ -214,9 +232,15 @@ def _install_oram_state(oram: PathORAM, state: dict) -> None:
             f"tree geometry implies {oram.tree.num_buckets}"
         )
     for index, raw_bucket in enumerate(state["buckets"]):
-        oram.tree._buckets[index] = [
-            _decode_block(raw, f"bucket {index}") for raw in raw_bucket
-        ]
+        blocks = [_decode_block(raw, f"bucket {index}") for raw in raw_bucket]
+        try:
+            # Routed through the tree so pinned indices land in the
+            # treetop store (and are marked dirty -- conservative for
+            # documents predating the treetop section).
+            oram.tree.write_bucket_at(index, blocks)
+        except ValueError as exc:
+            raise CheckpointError(f"bucket {index}: {exc}") from exc
+    _install_treetop_state(oram, state)
     if len(state["stash"]) > oram.config.stash_blocks:
         raise CheckpointError(
             f"checkpoint stash holds {len(state['stash'])} blocks, "
@@ -237,6 +261,51 @@ def _install_oram_state(oram: PathORAM, state: dict) -> None:
         oram.check_invariants()
     except AssertionError as exc:
         raise CheckpointError(f"checkpoint violates ORAM invariants: {exc}") from exc
+
+
+def _install_treetop_state(oram: PathORAM, state: dict) -> None:
+    """Restore the treetop's off-chip image, dirty set, and counters.
+
+    Documents without a ``treetop`` section (pre-treetop captures, or
+    captures taken at ``treetop_levels=0``) leave the conservative state
+    the bucket install produced: every pinned bucket dirty, counters
+    zero -- a later flush reconverges the image.
+    """
+    cache = oram.tree.treetop
+    saved = state.get("treetop")
+    if cache is None or saved is None:
+        return
+    try:
+        if saved["levels"] != cache.levels:
+            raise CheckpointError(
+                f"checkpoint treetop pins {saved['levels']} levels, "
+                f"config implies {cache.levels}"
+            )
+        image = saved["image"]
+        if len(image) != cache.num_buckets:
+            raise CheckpointError(
+                f"checkpoint treetop image holds {len(image)} buckets, "
+                f"geometry implies {cache.num_buckets}"
+            )
+        for index, raw_bucket in enumerate(image):
+            oram.tree._buckets[index] = [
+                _decode_block(raw, f"treetop image bucket {index}")
+                for raw in raw_bucket
+            ]
+        dirty = bytearray(cache.num_buckets)
+        for index in saved["dirty"]:
+            if not 0 <= index < cache.num_buckets:
+                raise CheckpointError(
+                    f"treetop dirty index {index} out of range "
+                    f"[0, {cache.num_buckets})"
+                )
+            dirty[index] = 1
+        cache.dirty = dirty
+        cache.hits = int(saved["hits"])
+        cache.flushes = int(saved["flushes"])
+        cache.flushed_buckets = int(saved["flushed_buckets"])
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed treetop section: {exc!r}") from exc
 
 
 def _atomic_write(path: str, payload: str) -> None:

@@ -118,6 +118,14 @@ class PathORAM(
             self._depth_of_xor = None
         if populate:
             self.populate()
+        # Pin the treetop *after* the initial working set is placed so the
+        # cache starts clean (on-chip store == off-chip image).  The config
+        # validates k against the nominal tree; the functional attach point
+        # additionally caps at the functional height so tiny scaled trees
+        # always keep their leaf level off-chip.
+        treetop_levels = min(config.treetop_levels, config.levels)
+        if treetop_levels:
+            self.tree.attach_treetop(treetop_levels)
 
     # ------------------------------------------------------------------ setup
     def populate(self) -> None:
@@ -146,6 +154,17 @@ class PathORAM(
             block = Block(addr, leaf)
             if not self._place_deepest(block, levels, z, bucket_for):
                 self.stash.add(block)
+        cache = tree.treetop
+        if cache is not None:
+            # Deferred population (populate=False at construction, scheme
+            # calls populate() later) writes into an already-attached
+            # treetop through the read-through bucket handles; the
+            # off-chip image has none of it, so mark the filled buckets
+            # dirty.  The usual construction order (populate, then attach)
+            # leaves this loop unreached and the cache clean.
+            for index, bucket in enumerate(cache.store):
+                if bucket:
+                    cache.dirty[index] = 1
 
     # ----------------------------------------------------------------- access
     def begin_access(
@@ -359,6 +378,8 @@ class PathORAM(
         # the path buckets are empty on entry and levels that place nothing
         # need no write at all.
         buckets = tree._buckets
+        split = tree._treetop_levels  # pinned path levels (0 without a treetop)
+        treetop = tree.treetop
         flat: List[Block] = []
         total = 0  # blocks accumulated into ``flat``
         pos = 0  # blocks of ``flat`` already placed
@@ -372,7 +393,13 @@ class PathORAM(
                 take = total - pos
                 if take > z:
                     take = z
-                buckets[path[level]] = flat[pos : pos + take]
+                if level < split:
+                    # Pinned level: the bucket lives in on-chip SRAM; mark
+                    # it dirty so a flush knows the DRAM image is stale.
+                    treetop.store[path[level]] = flat[pos : pos + take]
+                    treetop.dirty[path[level]] = 1
+                else:
+                    buckets[path[level]] = flat[pos : pos + take]
                 pos += take
         # stash.remove_all inlined: drop the placed blocks from the stash.
         for block in flat[:pos]:
@@ -427,11 +454,12 @@ class PathORAM(
     def locate(self, addr: int) -> str:
         """Return 'tree' or 'stash' for a block (tests/debugging).
 
-        Linear scan -- never used on the simulation hot path.
+        One tree pass via :meth:`BinaryTree.address_index` -- never used
+        on the simulation hot path.
         """
         if addr in self.stash:
             return "stash"
-        if self.tree.find(addr):
+        if addr in self.tree.address_index():
             return "tree"
         raise KeyError(f"block {addr} not found anywhere")
 

@@ -150,6 +150,37 @@ class PhysicalLayout:
         return path
 
 
+class TreetopCache:
+    """On-chip SRAM pinning the top ``levels`` of the tree (DESIGN.md §13).
+
+    Holds the ``2**levels - 1`` hottest buckets -- the ones every path
+    access touches -- so path reads/writes for those levels never go over
+    the interconnect.  ``store`` is indexed by *heap index* (the pinned
+    region is exactly the heap prefix ``[0, 2**levels - 1)``), ``dirty``
+    marks buckets whose on-chip content diverges from the off-chip DRAM
+    image, and :meth:`BinaryTree.flush_treetop` writes the dirty set back.
+
+    Security: the treetop is touched identically by every access (real or
+    dummy), so which buckets are pinned -- and that they are served
+    on-chip -- is public information; hiding them leaks nothing.
+    """
+
+    __slots__ = ("levels", "num_buckets", "store", "dirty", "hits", "flushes", "flushed_buckets")
+
+    def __init__(self, levels: int):
+        if levels < 1:
+            raise ValueError("a treetop cache needs at least 1 pinned level")
+        self.levels = levels
+        self.num_buckets = (1 << levels) - 1
+        self.store: List[List[Block]] = [[] for _ in range(self.num_buckets)]
+        self.dirty = bytearray(self.num_buckets)
+        #: buckets served from SRAM instead of DRAM (one per pinned level
+        #: per path read)
+        self.hits = 0
+        self.flushes = 0
+        self.flushed_buckets = 0
+
+
 class BinaryTree:
     """Bucketed binary tree with arithmetic path indexing.
 
@@ -158,6 +189,16 @@ class BinaryTree:
     label select the node within the level.  Path index vectors are
     memoized per leaf (the geometry never changes after construction), so
     the per-access ``read_path``/write-back pair never recomputes them.
+
+    With a :class:`TreetopCache` attached (:meth:`attach_treetop`), the
+    heap prefix ``[0, 2**k - 1)`` -- equivalently every bucket at a level
+    ``< k`` -- lives in the cache's on-chip store; ``_buckets`` keeps the
+    (possibly stale) off-chip DRAM image for those indices.  All content
+    accessors (:meth:`bucket`, :meth:`read_path_into`,
+    :meth:`write_bucket_at`, :meth:`occupancy`, :meth:`iter_blocks`)
+    consult the store for pinned indices, so the *functional* block
+    movement is identical with and without the cache -- only where the
+    bytes live (and therefore what the interconnect streams) changes.
     """
 
     def __init__(self, levels: int, bucket_size: int):
@@ -171,6 +212,58 @@ class BinaryTree:
         self.num_buckets = (1 << (levels + 1)) - 1
         self._buckets: List[List[Block]] = [[] for _ in range(self.num_buckets)]
         self._path_cache: Dict[int, Tuple[int, ...]] = {}
+        self.treetop: "TreetopCache | None" = None
+        #: pinned path levels (0 when no treetop is attached)
+        self._treetop_levels = 0
+        #: heap indices below this boundary are served on-chip
+        self._treetop_buckets = 0
+
+    def attach_treetop(self, levels: int) -> TreetopCache:
+        """Pin the top ``levels`` of this tree in an on-chip store.
+
+        The current contents of the pinned buckets move into the store;
+        ``_buckets`` keeps a snapshot as the off-chip DRAM image, so the
+        cache starts clean (image == store).  Must be attached at most
+        once, and ``levels`` must leave the leaf level off-chip.
+        """
+        if self.treetop is not None:
+            raise RuntimeError("treetop cache already attached")
+        if not 1 <= levels <= self.levels:
+            raise ValueError(
+                f"treetop must pin between 1 and {self.levels} levels, got {levels}"
+            )
+        cache = TreetopCache(levels)
+        for index in range(cache.num_buckets):
+            cache.store[index] = self._buckets[index]
+            self._buckets[index] = list(cache.store[index])
+        self.treetop = cache
+        self._treetop_levels = levels
+        self._treetop_buckets = cache.num_buckets
+        return cache
+
+    def flush_treetop(self) -> int:
+        """Write every dirty pinned bucket back to the off-chip image.
+
+        Returns the number of buckets written.  The write-back is modeled
+        off the critical path (DESIGN.md §13): dirty treetop buckets drain
+        opportunistically in idle bus cycles, so no access latency is
+        charged here -- the counter exists so the traffic is observable.
+        """
+        cache = self.treetop
+        if cache is None:
+            return 0
+        written = 0
+        dirty = cache.dirty
+        store = cache.store
+        buckets = self._buckets
+        for index in range(cache.num_buckets):
+            if dirty[index]:
+                buckets[index] = list(store[index])
+                dirty[index] = 0
+                written += 1
+        cache.flushes += 1
+        cache.flushed_buckets += written
+        return written
 
     def bucket_index(self, level: int, leaf: int) -> int:
         """Heap index of the bucket at ``level`` on the path to ``leaf``."""
@@ -191,7 +284,13 @@ class BinaryTree:
         return path
 
     def bucket(self, index: int) -> List[Block]:
-        """The (mutable) list of real blocks in bucket ``index``."""
+        """The (mutable) list of real blocks in bucket ``index``.
+
+        Pinned indices read through to the on-chip store -- callers always
+        see the live contents, never the stale DRAM image.
+        """
+        if index < self._treetop_buckets:
+            return self.treetop.store[index]
         return self._buckets[index]
 
     def read_path(self, leaf: int) -> List[Block]:
@@ -202,11 +301,15 @@ class BinaryTree:
         in the stash).  The buckets are left empty.
         """
         blocks: List[Block] = []
+        extend = blocks.extend
+        path = self.path_indices(leaf)
+        if self._treetop_levels:
+            path = self._drain_treetop(path, extend)
         buckets = self._buckets
-        for index in self.path_indices(leaf):
+        for index in path:
             bucket = buckets[index]
             if bucket:
-                blocks.extend(bucket)
+                extend(bucket)
                 buckets[index] = []
         return blocks
 
@@ -218,12 +321,17 @@ class BinaryTree:
         backing store) instead of materializing an intermediate list.
         Returns the number of blocks moved; the path buckets are left empty.
         """
-        buckets = self._buckets
         path = self._path_cache.get(leaf)
         if path is None:
             path = self.path_indices(leaf)
         moved: List[Block] = []
         extend = moved.extend
+        if self._treetop_levels:
+            path = self._drain_treetop(path, extend)
+        # The DRAM-resident suffix (the whole path when no treetop is
+        # attached) drains through the original inline loop -- this is the
+        # simulator's hottest read loop, kept frame-free at k=0.
+        buckets = self._buckets
         for index in path:
             bucket = buckets[index]
             if bucket:
@@ -233,6 +341,27 @@ class BinaryTree:
         # Python loop (zip + attrgetter keep the key extraction in C too).
         store.update(zip(map(_ADDR_OF, moved), moved))
         return len(moved)
+
+    def _drain_treetop(self, path: Sequence[int], extend) -> Sequence[int]:
+        """Empty the pinned prefix of ``path``; return the off-chip suffix.
+
+        The first ``_treetop_levels`` entries of a path vector are exactly
+        the pinned levels (heap index ``< 2**k - 1`` iff level ``< k``), so
+        the pinned prefix is served from SRAM -- counted as treetop hits --
+        and only the returned suffix touches the DRAM-resident buckets.
+        """
+        split = self._treetop_levels
+        cache = self.treetop
+        sram = cache.store
+        dirty = cache.dirty
+        for index in path[:split]:
+            bucket = sram[index]
+            if bucket:
+                extend(bucket)
+                sram[index] = []
+                dirty[index] = 1
+        cache.hits += split
+        return path[split:]
 
     def write_bucket(self, level: int, leaf: int, blocks: List[Block]) -> None:
         """Install ``blocks`` as the content of the bucket at (level, leaf)."""
@@ -249,15 +378,30 @@ class BinaryTree:
             raise ValueError(
                 f"bucket overflow: {len(blocks)} blocks into a Z={self.bucket_size} bucket"
             )
-        self._buckets[index] = blocks
+        if index < self._treetop_buckets:
+            cache = self.treetop
+            cache.store[index] = blocks
+            cache.dirty[index] = 1
+        else:
+            self._buckets[index] = blocks
 
     def occupancy(self) -> int:
         """Total number of real blocks currently stored in the tree."""
-        return sum(len(bucket) for bucket in self._buckets)
+        total = sum(len(bucket) for bucket in self._buckets[self._treetop_buckets:])
+        if self.treetop is not None:
+            total += sum(len(bucket) for bucket in self.treetop.store)
+        return total
 
     def iter_blocks(self) -> Iterator[Block]:
-        """Iterate over every real block in the tree (for invariant checks)."""
-        for bucket in self._buckets:
+        """Iterate over every real block in the tree (for invariant checks).
+
+        Pinned buckets yield their *live* on-chip contents; the stale DRAM
+        image of the treetop region is never visible here.
+        """
+        if self.treetop is not None:
+            for bucket in self.treetop.store:
+                yield from bucket
+        for bucket in self._buckets[self._treetop_buckets:]:
             yield from bucket
 
     def find(self, addr: int) -> bool:
@@ -267,3 +411,19 @@ class BinaryTree:
         the simulation hot path.
         """
         return any(block.addr == addr for block in self.iter_blocks())
+
+    def address_index(self) -> Dict[int, int]:
+        """One-pass address -> heap-index map over the live tree contents.
+
+        Built once per audit pass and reused across invariant checks (see
+        :mod:`repro.faults.fsck`): a consistency audit that checks every
+        position-map address against the tree this way costs O(B) total
+        instead of the O(N * B) of one :meth:`find` scan per address.
+        Duplicate addresses keep the first index seen (the audit detects
+        duplicates in its own bucket walk).
+        """
+        index_of: Dict[int, int] = {}
+        for index in range(self.num_buckets):
+            for block in self.bucket(index):
+                index_of.setdefault(block.addr, index)
+        return index_of

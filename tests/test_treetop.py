@@ -1,0 +1,602 @@
+"""Treetop cache: pinned tree-top levels and truncated path streaming.
+
+Covers the on-chip treetop store (DESIGN.md section 13) end to end:
+
+* config validation and footprint rescaling;
+* the tree-level cache itself (read-through, dirty tracking, write-back
+  flush, census helpers);
+* functional equivalence -- a treetop changes *where* buckets live, never
+  what the ORAM computes;
+* truncated public timing on both interconnect models, including the
+  periodic grid and the cross-runtime bit-identity contracts at ``k > 0``;
+* hypothesis properties: ``k = 0`` is cycle-identical to the untruncated
+  model, and ``k >= 1`` never issues a bank request that only pinned
+  levels need;
+* checkpoint round-trips (dirty state included), metrics export, and the
+  physical-layout partial-bottom-tier regression that rides along.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import experiment_config
+from repro.config import (
+    DRAMConfig,
+    ORAMConfig,
+    SystemConfig,
+    TimingProtectionConfig,
+)
+from repro.memory.interconnect import ChannelInterconnect, build_interconnect
+from repro.memory.oram_backend import ORAMBackend
+from repro.memory.periodic import PeriodicORAMBackend
+from repro.memory.timing import ORAMTimingModel
+from repro.observability.collect import collect_system
+from repro.observability.recorder import InMemoryRecorder
+from repro.oram.checkpoint import CheckpointError, dump_oram, load_oram
+from repro.oram.path_oram import PathORAM
+from repro.oram.super_block import BaselineScheme
+from repro.oram.tree import BinaryTree, PhysicalLayout
+from repro.faults.fsck import run_fsck
+from repro.sim.system import SecureSystem
+from repro.utils.rng import DeterministicRng
+from repro.workloads.synthetic import locality_mix_trace
+
+SMALL_CAPACITY = 1 << 20
+
+SMALL_ORAM = dict(levels=7, bucket_size=4, stash_blocks=50, utilization=0.5)
+
+
+def small_config(treetop: int) -> ORAMConfig:
+    return ORAMConfig(treetop_levels=treetop, **SMALL_ORAM)
+
+
+# ------------------------------------------------------------------- config
+class TestConfigValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ORAMConfig(treetop_levels=-1)
+
+    def test_taller_than_nominal_tree_rejected(self):
+        config = ORAMConfig()
+        with pytest.raises(ValueError, match="nominal tree height"):
+            dataclasses.replace(config, treetop_levels=config.nominal_levels)
+
+    def test_footprint_rescale_preserves_treetop(self):
+        config = dataclasses.replace(ORAMConfig(), treetop_levels=4)
+        scaled = config.scaled_to_footprint(1 << 14)
+        assert scaled.treetop_levels == 4
+
+    def test_cli_override_helper_applies_and_validates(self):
+        from repro.cli import _dram_config
+
+        class Args:
+            treetop = 4
+            dram_model = None
+            channels = None
+
+        config = _dram_config(Args(), SystemConfig())
+        assert config.oram.treetop_levels == 4
+        Args.treetop = 99
+        with pytest.raises(SystemExit, match="--treetop"):
+            _dram_config(Args(), SystemConfig())
+
+
+# ----------------------------------------------------------------- the tree
+class TestTreetopCacheTree:
+    def build(self, treetop=3, levels=5, z=4):
+        tree = BinaryTree(levels=levels, bucket_size=z)
+        from repro.oram.block import Block
+
+        # Spread a few blocks over the top and bottom of the tree.
+        tree.write_bucket_at(0, [Block(addr=0, leaf=0)])
+        tree.write_bucket_at(1, [Block(addr=1, leaf=0)])
+        bottom = tree.bucket_index(levels, 3)
+        tree.write_bucket_at(bottom, [Block(addr=2, leaf=3)])
+        if treetop:
+            tree.attach_treetop(treetop)
+        return tree
+
+    def test_attach_validates(self):
+        tree = BinaryTree(levels=4, bucket_size=2)
+        with pytest.raises(ValueError):
+            tree.attach_treetop(0)
+        with pytest.raises(ValueError):
+            tree.attach_treetop(5)
+        tree.attach_treetop(2)
+        with pytest.raises(RuntimeError):
+            tree.attach_treetop(2)  # double attach
+
+    def test_read_through_and_census(self):
+        tree = self.build()
+        assert tree.bucket(0) is tree.treetop.store[0]
+        assert tree.occupancy() == 3
+        assert sorted(b.addr for b in tree.iter_blocks()) == [0, 1, 2]
+        assert tree.find(0) and tree.find(2) and not tree.find(99)
+        index = tree.address_index()
+        assert index[0] == 0 and index[1] == 1
+        assert index[2] == tree.bucket_index(tree.levels, 3)
+
+    def test_write_marks_dirty_and_flush_syncs_image(self):
+        from repro.oram.block import Block
+
+        tree = self.build()
+        tree.write_bucket_at(2, [Block(addr=9, leaf=2)])
+        assert tree.treetop.dirty[2] == 1
+        # The DRAM image still holds the pre-write (empty) bucket.
+        assert tree._buckets[2] == []
+        written = tree.flush_treetop()
+        assert written >= 1
+        assert [b.addr for b in tree._buckets[2]] == [9]
+        assert not any(tree.treetop.dirty)
+        assert tree.treetop.flushes == 1
+        assert tree.treetop.flushed_buckets == written
+        # A clean flush writes nothing but still counts a pass.
+        assert tree.flush_treetop() == 0
+        assert tree.treetop.flushes == 2
+
+    def test_read_path_drains_treetop_and_dirties_emptied_buckets(self):
+        tree = self.build(treetop=3)
+        blocks = tree.read_path(0)
+        assert sorted(b.addr for b in blocks) == [0, 1]
+        # Draining a pinned non-empty bucket dirties it (its on-chip copy
+        # became empty while the image still holds the block).
+        assert tree.treetop.dirty[0] == 1 and tree.treetop.dirty[1] == 1
+        assert tree.treetop.hits >= 3
+
+
+# ------------------------------------------------- functional equivalence
+class TestFunctionalEquivalence:
+    def drive(self, treetop: int):
+        oram = PathORAM(small_config(treetop), DeterministicRng(1234))
+        rng = random.Random(7)
+        for _ in range(300):
+            oram.access([rng.randrange(oram.position_map.num_blocks)])
+        return oram
+
+    def test_treetop_never_changes_oram_state(self):
+        """k only moves buckets on-chip; contents/stash/posmap match k=0."""
+        base = self.drive(0)
+        pinned = self.drive(4)
+        assert [
+            sorted(b.addr for b in base.tree.bucket(i))
+            for i in range(base.tree.num_buckets)
+        ] == [
+            sorted(b.addr for b in pinned.tree.bucket(i))
+            for i in range(pinned.tree.num_buckets)
+        ]
+        assert sorted(base.stash.items()) == sorted(pinned.stash.items())
+        assert [
+            base.position_map.leaf(a)
+            for a in range(base.position_map.num_blocks)
+        ] == [
+            pinned.position_map.leaf(a)
+            for a in range(pinned.position_map.num_blocks)
+        ]
+        assert run_fsck(pinned).ok
+
+    def test_functional_attach_is_capped_at_tree_height(self):
+        """A nominal-height treetop still attaches to the small functional
+        tree (capped), and the ORAM stays consistent."""
+        config = dataclasses.replace(small_config(0), treetop_levels=20)
+        oram = PathORAM(config, DeterministicRng(5))
+        assert oram.tree.treetop.levels == config.levels
+        for addr in range(50):
+            oram.access([addr % oram.position_map.num_blocks])
+        assert run_fsck(oram).ok
+
+
+# ------------------------------------------------------------------ timing
+class TestTruncatedTiming:
+    def test_flat_prices_the_offchip_suffix(self):
+        for k in (0, 2, 4, 6):
+            config = small_config(k)
+            dram = DRAMConfig()
+            timing = ORAMTimingModel.from_config(config, dram)
+            flat = build_interconnect(config, dram)
+            offchip = config.nominal_levels + 1 - k
+            assert flat.offchip_levels == offchip
+            assert flat.path_cycles == timing.path_cycles_for(offchip)
+            assert flat.bytes_per_path == offchip * timing.bucket_bytes
+
+    def test_zero_treetop_is_the_full_path_cost(self):
+        config = small_config(0)
+        dram = DRAMConfig()
+        timing = ORAMTimingModel.from_config(config, dram)
+        assert (
+            timing.path_cycles_for(config.nominal_levels + 1)
+            == timing.path_cycles
+        )
+        assert build_interconnect(config, dram).path_cycles == timing.path_cycles
+
+    def test_path_cycles_for_rejects_empty_paths(self):
+        timing = ORAMTimingModel.from_config(small_config(0), DRAMConfig())
+        with pytest.raises(ValueError):
+            timing.path_cycles_for(0)
+
+    def test_channel_public_cost_shrinks_with_k(self):
+        dram = DRAMConfig(model="channel", num_channels=4)
+        costs = [
+            build_interconnect(small_config(k), dram).path_cycles
+            for k in (0, 2, 4, 6)
+        ]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] < costs[0]
+
+    def test_backend_charges_truncated_cost_everywhere(self):
+        backend = ORAMBackend(
+            small_config(4), DRAMConfig(), BaselineScheme(), DeterministicRng(3)
+        )
+        public = backend.interconnect.path_cycles
+        assert public == backend.timing.path_cycles_for(
+            backend.config.nominal_levels + 1 - 4
+        )
+        done = backend.dummy_path_access(0)
+        assert done == public
+
+
+# ------------------------------------------------------- periodic grid
+class TestPeriodicGridWithTreetop:
+    def test_issue_times_stay_on_the_truncated_grid(self):
+        backend = PeriodicORAMBackend(
+            small_config(4),
+            DRAMConfig(model="channel", num_channels=4),
+            BaselineScheme(),
+            DeterministicRng(4),
+            TimingProtectionConfig(enabled=True, interval_cycles=100),
+        )
+        recorder = InMemoryRecorder()
+        backend.set_recorder(recorder)
+        period = backend.interconnect.path_cycles + backend.interval
+        rng = DeterministicRng(9)
+        now = 0
+        for i in range(60):
+            choice = rng.randbelow(3)
+            if choice == 0:
+                result = backend.demand_access(
+                    1 + (i % 32), now=now, is_write=bool(i % 2)
+                )
+                now = result.completion_cycle
+            elif choice == 1:
+                backend.evict_line(1 + (i % 32), dirty=True, now=now)
+                now = backend.busy_until
+            else:
+                now += 1 + rng.randbelow(3 * period)
+        backend.finalize(now + 5 * period)
+        starts = [r["start"] for r in recorder.records if "event" not in r]
+        assert starts
+        assert all(start % period == 0 for start in starts)
+        dummy_slots = [
+            r["slot"] for r in recorder.records if r.get("event") == "periodic_dummy"
+        ]
+        assert dummy_slots
+        assert all(slot % period == 0 for slot in dummy_slots)
+        # finalize drained the treetop write-back queue.
+        assert backend.oram.tree.treetop.flushes >= 1
+
+
+# -------------------------------------------------- bit-identity contracts
+def _request_stream(count=200, footprint=128, seed=9):
+    rng = DeterministicRng(seed)
+    requests = []
+    now = 0
+    for index in range(count):
+        now += rng.randint(1, 40)
+        requests.append((rng.randint(0, footprint - 1), now, index % 5 == 0))
+    return requests
+
+
+def _treetop_system_config(k=4, channels=4) -> SystemConfig:
+    config = SystemConfig()
+    return dataclasses.replace(
+        config,
+        oram=dataclasses.replace(config.oram, treetop_levels=k),
+        dram=dataclasses.replace(
+            config.dram, model="channel", num_channels=channels
+        ),
+    )
+
+
+class TestBitIdentityAtK:
+    def test_parallel_runtime_matches_serial_bank(self):
+        from repro.parallel import ParallelShardRuntime, run_serial_reference
+
+        requests = _request_stream()
+        config = _treetop_system_config()
+        serial = run_serial_reference("dyn", 128, requests, config, num_shards=2)
+        with ParallelShardRuntime("dyn", 128, config, 2, batch_size=23) as runtime:
+            parallel = runtime.run(requests)
+        assert dataclasses.asdict(parallel) == dataclasses.asdict(serial)
+
+    def test_sharded_bank_matches_single_controller_public_costs(self):
+        """Every shard of a bank prices paths at the same truncated cost."""
+        config = _treetop_system_config()
+        system = SecureSystem.build("dyn", 256, config, num_shards=2)
+        single = SecureSystem.build("dyn", 256, config)
+        for shard in system.backend.shards:
+            assert (
+                shard.interconnect.path_cycles
+                == single.backend.interconnect.path_cycles
+            )
+            assert shard.interconnect.treetop_levels == 4
+
+    def test_serve_replay_contract_with_treetop(self):
+        from repro.parallel.merge import replay_issued_schedule
+        from repro.serve import OpenLoopSource, ServingFrontEnd
+
+        config = _treetop_system_config()
+        trace = locality_mix_trace(0.6, footprint_blocks=512, accesses=300)
+        frontend = ServingFrontEnd.build(
+            "dyn", trace.footprint_blocks, config, 2, workload="serve_open"
+        )
+        report = frontend.run(OpenLoopSource.from_trace(trace, num_tenants=2))
+        replayed = replay_issued_schedule(
+            "dyn",
+            trace.footprint_blocks,
+            frontend.issued,
+            config,
+            2,
+            workload="serve_open",
+            parallel=True,
+        )
+        assert dataclasses.asdict(replayed) == dataclasses.asdict(report.sim)
+
+
+# --------------------------------------------------------------- hypothesis
+def geometry():
+    return dict(
+        levels=st.integers(min_value=4, max_value=9),
+        bucket_size=st.integers(min_value=1, max_value=5),
+        channels=st.sampled_from([1, 2, 4]),
+        subtree_levels=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+
+
+class TestTreetopProperties:
+    @given(k=st.integers(min_value=0, max_value=6), **geometry())
+    @settings(max_examples=40, deadline=None)
+    def test_zero_treetop_cycle_identical_and_k_never_slower(
+        self, k, levels, bucket_size, channels, subtree_levels, seed
+    ):
+        """k=0 reproduces the untruncated interconnect cycle-for-cycle;
+        any k prices paths no higher than k=0."""
+        base = ORAMConfig(
+            capacity_bytes=SMALL_CAPACITY,
+            levels=levels,
+            bucket_size=bucket_size,
+        )
+        k = min(k, base.nominal_levels - 1)
+        dram = DRAMConfig(
+            model="channel",
+            num_channels=channels,
+            subtree_levels=subtree_levels,
+        )
+        untruncated = build_interconnect(base, dram)
+        zero = build_interconnect(dataclasses.replace(base, treetop_levels=0), dram)
+        pinned = build_interconnect(dataclasses.replace(base, treetop_levels=k), dram)
+        assert zero.path_cycles == untruncated.path_cycles
+        assert pinned.path_cycles <= zero.path_cycles
+        rng = random.Random(seed)
+        now_zero = now_untrunc = 0
+        for _ in range(30):
+            leaf = rng.randrange(1 << levels)
+            done_zero = zero.path_completion(leaf, now_zero)
+            done_untrunc = untruncated.path_completion(leaf, now_untrunc)
+            assert done_zero - now_zero == done_untrunc - now_untrunc
+            gap = rng.randrange(4) * rng.randrange(200)
+            now_zero = done_zero + gap
+            now_untrunc = done_untrunc + gap
+
+    @given(k=st.integers(min_value=1, max_value=6), **geometry())
+    @settings(max_examples=40, deadline=None)
+    def test_no_bank_request_serves_only_pinned_levels(
+        self, k, levels, bucket_size, channels, subtree_levels, seed
+    ):
+        """Every (channel, bank, row) the plan touches is needed by some
+        off-chip level; planned bytes cover exactly the off-chip suffix."""
+        base = ORAMConfig(
+            capacity_bytes=SMALL_CAPACITY,
+            levels=levels,
+            bucket_size=bucket_size,
+        )
+        k = min(k, base.nominal_levels - 1)
+        dram = DRAMConfig(
+            model="channel",
+            num_channels=channels,
+            subtree_levels=subtree_levels,
+        )
+        interconnect = build_interconnect(
+            dataclasses.replace(base, treetop_levels=k), dram
+        )
+        assert isinstance(interconnect, ChannelInterconnect)
+        layout = interconnect.layout
+        leaf = random.Random(seed).randrange(1 << levels)
+        nominal_leaf = leaf << interconnect._leaf_shift
+        offchip = {
+            (a.channel, a.bank, a.row)
+            for a in layout.path_addresses(nominal_leaf)[k:]
+        }
+        plan = interconnect._plan(leaf)
+        planned_bytes = 0
+        for channel, requests, _cycles, nbytes in plan:
+            planned_bytes += nbytes
+            for bank, row in requests:
+                assert (channel, bank, row) in offchip
+        assert planned_bytes == interconnect.offchip_levels * interconnect.bucket_bytes
+
+
+# ------------------------------------------------------- physical layout
+class TestPartialBottomTier:
+    """levels + 1 not divisible by subtree_levels: the bottom tier is a
+    partial-height tile and must still place injectively."""
+
+    def test_bucket_locations_stay_injective(self):
+        levels, channels = 10, 4
+        layout = PhysicalLayout(
+            levels=levels, num_channels=channels, num_banks=8, subtree_levels=3
+        )
+        assert (levels + 1) % 3 != 0  # the regression's precondition
+        seen = {}
+        for level in range(levels + 1):
+            step = 1 << (levels - level)
+            for index in range(1 << level):
+                address = layout.address_of(level, index * step)
+                subtree = layout.subtree_id(level, index * step)
+                key = (address.channel, address.bank, address.row)
+                if key in seen:
+                    assert seen[key] == subtree  # same tile, never a clash
+                else:
+                    seen[key] = subtree
+
+    def test_per_tier_rotation_spreads_a_constant_index_path(self):
+        levels, channels = 10, 4
+        layout = PhysicalLayout(
+            levels=levels, num_channels=channels, num_banks=8, subtree_levels=3
+        )
+        # Leaf 0's within-tier index is 0 in every tier; only the per-tier
+        # rotation spreads its tiles over channels.
+        tiers = len(range(0, levels + 1, 3))
+        path_channels = {a.channel for a in layout.path_addresses(0)}
+        assert len(path_channels) == min(tiers, channels)
+
+
+# ----------------------------------------------------------- checkpointing
+class TestTreetopCheckpoint:
+    def checkpointed(self, k=4, accesses=200):
+        oram = PathORAM(small_config(k), DeterministicRng(77))
+        rng = random.Random(13)
+        for _ in range(accesses):
+            oram.access([rng.randrange(oram.position_map.num_blocks)])
+        return oram
+
+    def test_round_trip_preserves_dirty_state(self):
+        oram = self.checkpointed()
+        assert any(oram.tree.treetop.dirty)  # the interesting case
+        payload = dump_oram(oram)
+        restored = load_oram(payload, DeterministicRng(1))
+        assert restored.tree.treetop is not None
+        assert bytes(restored.tree.treetop.dirty) == bytes(oram.tree.treetop.dirty)
+        assert restored.tree._buckets[: restored.tree._treetop_buckets] == [
+            bucket for bucket in oram.tree._buckets[: oram.tree._treetop_buckets]
+        ]
+        assert dump_oram(restored) == payload
+        assert run_fsck(restored).ok
+
+    def test_flush_after_restore_converges_images(self):
+        oram = self.checkpointed()
+        restored = load_oram(dump_oram(oram), DeterministicRng(1))
+        oram.tree.flush_treetop()
+        restored.tree.flush_treetop()
+        boundary = oram.tree._treetop_buckets
+        assert [
+            sorted(b.addr for b in bucket)
+            for bucket in restored.tree._buckets[:boundary]
+        ] == [
+            sorted(b.addr for b in bucket)
+            for bucket in oram.tree._buckets[:boundary]
+        ]
+
+    def test_pre_treetop_documents_still_load(self):
+        oram = PathORAM(small_config(0), DeterministicRng(3))
+        for addr in range(40):
+            oram.access([addr % oram.position_map.num_blocks])
+        state = json.loads(dump_oram(oram))
+        assert "treetop" not in state
+        del state["config"]["treetop_levels"]  # a pre-treetop document
+        restored = load_oram(json.dumps(state), DeterministicRng(4))
+        assert restored.config.treetop_levels == 0
+        assert restored.tree.treetop is None
+        assert run_fsck(restored).ok
+
+    def test_malformed_treetop_section_rejected(self):
+        oram = self.checkpointed()
+        state = json.loads(dump_oram(oram))
+        state["treetop"]["levels"] = 99
+        with pytest.raises(CheckpointError):
+            load_oram(json.dumps(state), DeterministicRng(1))
+        state = json.loads(dump_oram(oram))
+        state["treetop"]["dirty"] = "oops"
+        with pytest.raises(CheckpointError):
+            load_oram(json.dumps(state), DeterministicRng(1))
+
+
+# ---------------------------------------------------------------- metrics
+class TestTreetopMetrics:
+    def test_single_controller_exports_treetop_counters(self):
+        trace = locality_mix_trace(0.8, accesses=1200)
+        config = experiment_config()
+        config = dataclasses.replace(
+            config,
+            oram=dataclasses.replace(config.oram, treetop_levels=4),
+            dram=dataclasses.replace(
+                config.dram, model="channel", num_channels=4
+            ),
+        )
+        system = SecureSystem.build("dyn", trace.footprint_blocks, config)
+        result = system.run(trace)
+        registry = collect_system(system)
+        names = {instrument.name for instrument in registry}
+        assert "interconnect.treetop_hits" in names
+        assert "interconnect.treetop_bytes_saved" in names
+        assert "interconnect.treetop_flushes" in names
+        assert registry.counter("interconnect.treetop_hits").value > 0
+        assert registry.counter("interconnect.treetop_bytes_saved").value > 0
+        assert registry.counter("interconnect.treetop_flushes").value > 0
+        assert result.extra["interconnect_treetop_hits"] > 0
+
+    def test_sharded_bank_exports_per_shard_treetop(self):
+        trace = locality_mix_trace(0.8, accesses=1200)
+        config = experiment_config()
+        config = dataclasses.replace(
+            config,
+            oram=dataclasses.replace(config.oram, treetop_levels=4),
+            dram=dataclasses.replace(
+                config.dram, model="channel", num_channels=2
+            ),
+        )
+        system = SecureSystem.build("dyn", trace.footprint_blocks, config, num_shards=2)
+        system.run(trace)
+        registry = collect_system(system)
+        names = {instrument.name for instrument in registry}
+        for shard in range(2):
+            assert f"interconnect.shard{shard}.treetop_hits" in names
+            assert f"interconnect.shard{shard}.treetop_flushes" in names
+
+    def test_flat_model_counts_saved_bytes_too(self):
+        config = small_config(4)
+        flat = build_interconnect(config, DRAMConfig())
+        flat.path_completion(3, 0)
+        flat.note_untracked(2)
+        summary = flat.summary()
+        assert summary["treetop_hits"] == 4 * 3
+        assert summary["treetop_bytes_saved"] == 4 * 3 * flat._timing.bucket_bytes
+
+
+# ------------------------------------------------------------------- fsck
+class TestFsckIndexedAudit:
+    def test_missing_address_named_in_report(self):
+        oram = PathORAM(small_config(0), DeterministicRng(21))
+        index = oram.tree.address_index()
+        victim = next(iter(sorted(index)))
+        bucket = oram.tree.bucket(index[victim])
+        oram.tree.write_bucket_at(
+            index[victim], [b for b in bucket if b.addr != victim]
+        )
+        report = run_fsck(oram)
+        assert not report.ok
+        assert any(
+            f"block {victim} missing from both tree and stash" == error
+            for error in report.errors
+        )
+
+    def test_clean_store_audits_clean_with_treetop(self):
+        oram = PathORAM(small_config(3), DeterministicRng(22))
+        rng = random.Random(5)
+        for _ in range(150):
+            oram.access([rng.randrange(oram.position_map.num_blocks)])
+        assert run_fsck(oram).ok
